@@ -1,0 +1,49 @@
+"""Ablation: two-level Schwarz (Nicolaides coarse space).
+
+The paper skips the coarse grid because pseudo-timestepping keeps its
+systems well conditioned, while noting that asymptotic scalability
+requires one.  This bench quantifies the claim on our stiffest systems
+(high-CFL shifted Jacobians): the coarse level's benefit grows with
+the subdomain count.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.reporting import format_table
+from repro.euler import wing_problem
+from repro.partition import kway_partition
+from repro.precond import ASMConfig, BlockJacobi, TwoLevelASM
+from repro.solvers import gmres
+
+
+def test_two_level_vs_one_level(benchmark, record_table):
+    prob = wing_problem(13, 9, 7)
+    jac = prob.disc.shifted_jacobian(prob.initial.flat(), cfl=1e5)
+    g = prob.mesh.vertex_graph()
+    rng = np.random.default_rng(0)
+    b = rng.random(jac.shape[0])
+
+    def sweep():
+        rows = []
+        for p in (4, 8, 16, 32):
+            labels = kway_partition(g, p, seed=0)
+            one = BlockJacobi(labels, fill_level=0).setup(jac)
+            two = TwoLevelASM(labels, ASMConfig(fill_level=0)).setup(jac)
+            i1 = gmres(jac, b, M=one, rtol=1e-8, maxiter=500,
+                       restart=30).iterations
+            i2 = gmres(jac, b, M=two, rtol=1e-8, maxiter=500,
+                       restart=30).iterations
+            rows.append([p, i1, i2, round(i1 / max(i2, 1), 2)])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    record_table("ablation_coarse_space", format_table(
+        ["parts", "one-level its", "two-level its", "gain"],
+        rows, title="Two-level (Nicolaides) vs one-level Schwarz"))
+
+    # The coarse space pays off (or at worst is neutral) at the largest
+    # subdomain count, and its relative benefit grows with P.
+    gains = [r[3] for r in rows]
+    assert rows[-1][2] <= rows[-1][1]
+    assert gains[-1] >= gains[0] - 0.05

@@ -1,0 +1,49 @@
+"""Ablation: the three partitioner families head to head.
+
+Extends the Fig. 4 pairing with the classical spectral (recursive
+Fiedler) bisection: cut quality, balance, contiguity, and cost across
+part counts.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core.reporting import format_table
+from repro.mesh import unit_cube_mesh
+from repro.partition import (kway_partition, partition_quality,
+                             pmetis_partition, spectral_partition)
+
+
+def test_partitioner_families(benchmark, record_table):
+    g = unit_cube_mesh(12, jitter=0.2, seed=2).vertex_graph()
+
+    def sweep():
+        rows = []
+        for p in (4, 16, 32):
+            for name, fn in (("k-metis-like", kway_partition),
+                             ("p-metis-like", pmetis_partition),
+                             ("spectral", spectral_partition)):
+                t0 = time.perf_counter()
+                labels = fn(g, p, seed=0)
+                dt = time.perf_counter() - t0
+                q = partition_quality(g, labels)
+                rows.append([p, name, q.edge_cut, round(q.imbalance, 3),
+                             q.total_extra_components,
+                             round(q.mean_connectivity, 1),
+                             round(dt, 3)])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    record_table("ablation_partitioners", format_table(
+        ["parts", "family", "cut", "imbalance", "extra comps",
+         "connectivity", "seconds"],
+        rows, title="Partitioner families on a 1728-vertex tet mesh"))
+
+    by = {(r[0], r[1]): r for r in rows}
+    for p in (4, 16, 32):
+        # All three produce usable partitions...
+        for fam in ("k-metis-like", "p-metis-like", "spectral"):
+            assert by[(p, fam)][3] <= 1.15
+        # ...and spectral's cut is competitive with the multilevel one.
+        assert by[(p, "spectral")][2] < 1.5 * by[(p, "k-metis-like")][2]

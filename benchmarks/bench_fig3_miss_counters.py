@@ -1,0 +1,26 @@
+"""Fig. 3: simulated TLB and secondary-cache miss counters."""
+
+from conftest import run_once
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3_miss_counters(benchmark, record_table):
+    result = run_once(benchmark, run_fig3, dims=(16, 10, 8), cache_scale=16)
+    record_table("fig3_miss_counters", result.table())
+
+    rows = {r[0]: r for r in result.rows}
+    tlb = {k: r[2] for k, r in rows.items()}
+    l2 = {k: r[4] for k, r in rows.items()}
+
+    worst = "NOER noninterlaced"
+    best = "reordered interlaced+blocked"
+    # Edge/node reordering cuts TLB misses by orders of magnitude
+    # (paper: ~2 orders on the R10000 counters).
+    assert tlb[worst] > 30 * tlb[best]
+    assert tlb["NOER interlaced"] > 5 * tlb["reordered interlaced"]
+    # Secondary-cache misses drop several-fold (paper: ~3.5x).
+    assert l2[worst] > 2.5 * l2[best]
+    # Interlacing alone already helps both counters.
+    assert tlb["NOER interlaced"] < tlb[worst]
+    assert l2["NOER interlaced"] < l2[worst]

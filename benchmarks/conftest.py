@@ -1,0 +1,40 @@
+"""Benchmark-suite plumbing.
+
+Every bench regenerates one paper table/figure via the harnesses in
+:mod:`repro.experiments`, times it with pytest-benchmark (one exact
+round — these are experiments, not microkernels), asserts the paper's
+*shape* claims, and writes the regenerated table to
+``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_table(results_dir):
+    """Write one regenerated table to results/<name>.txt (and echo it)."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _write
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Data-layout tuning walkthrough (the paper's Table 1 / Fig. 3 story).
+
+Shows, for one mesh, what each layout enhancement does to:
+  * the mesh/matrix locality metrics (edge span, matrix bandwidth);
+  * the simulated R10000 cache/TLB counters of the flux and SpMV
+    kernels under that layout;
+  * the memory-centric predicted time per pseudo-timestep.
+
+Run:  python examples/layout_tuning.py
+"""
+
+from repro.core.reporting import format_table
+from repro.euler.problems import wing_problem
+from repro.experiments.common import scaled_hierarchy
+from repro.memory.trace import flux_loop_trace, spmv_bsr_trace, spmv_csr_trace
+from repro.mesh import mesh_locality_report
+from repro.perfmodel.machines import ORIGIN2000_R10K
+from repro.perfmodel.time_model import kernel_time_from_counters
+from repro.sparse.layouts import field_split_csr_from_bsr
+
+CACHE_SCALE = 16   # R10000 caches shrunk with the mesh (see DESIGN.md)
+
+CONFIGS = [
+    # (label, vertex ordering, edge ordering, interlaced, blocked)
+    ("vector baseline (NOER, noninterlaced)", "random", "colored", False, False),
+    ("+ interlacing", "random", "colored", True, False),
+    ("+ blocking", "random", "colored", True, True),
+    ("+ edge/node reordering", "rcm", "sorted", True, True),
+]
+
+
+def main() -> None:
+    machine = ORIGIN2000_R10K
+    rows = []
+    base_time = None
+    for label, vo, eo, interlaced, blocked in CONFIGS:
+        prob = wing_problem(16, 10, 8, vertex_ordering=vo, edge_ordering=eo)
+        mesh, disc = prob.mesh, prob.disc
+        loc = mesh_locality_report(mesh)
+
+        jac = disc.assemble_jacobian(prob.initial.flat())
+        if blocked:
+            spmv = spmv_bsr_trace(jac)
+        elif interlaced:
+            spmv = spmv_csr_trace(jac.to_csr())
+        else:
+            spmv = spmv_csr_trace(field_split_csr_from_bsr(jac))
+        flux = flux_loop_trace(mesh.edges, mesh.num_vertices, disc.ncomp,
+                               interlaced=interlaced)
+
+        hier = scaled_hierarchy(machine, CACHE_SCALE)
+        hier.run(flux)
+        hier.run(spmv)
+        c = hier.counters
+        pred = kernel_time_from_counters(
+            c, disc.residual_flops() + 2 * jac.nnzb * disc.ncomp**2,
+            machine).total
+        if base_time is None:
+            base_time = pred
+        rows.append([label, loc.matrix_bandwidth,
+                     round(loc.edge_span["mean"], 1), c.tlb_misses,
+                     c.l1_misses, c.l2_misses, round(pred, 4),
+                     round(base_time / pred, 2)])
+
+    print(format_table(
+        ["layout", "matrix bw", "edge span", "TLB miss", "L1 miss",
+         "L2 miss", "pred time (s)", "speedup"],
+        rows,
+        title=f"Layout tuning on {machine.name} (caches/{CACHE_SCALE})"))
+    print("\nEach enhancement tightens the reference stream; the paper's "
+          "5.7x overall\nimprovement comes from exactly these counters "
+          "shrinking (Fig. 3).")
+
+
+if __name__ == "__main__":
+    main()

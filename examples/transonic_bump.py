@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Transonic bump flow: shocked-flow robustness continuation.
+
+Demonstrates the paper's Sec. 2.4.1 machinery for flows with near
+discontinuities: start first-order with a small CFL and a damped SER
+exponent (p = 0.75 once second-order is active, 1.5 while first-order),
+switch discretisation order after two orders of residual reduction, and
+pick a TVD limiter (minmod) that does not limit-cycle at the shock.
+
+Run:  python examples/transonic_bump.py
+"""
+
+import numpy as np
+
+from repro.core import NKSSolver, SolverConfig
+from repro.euler import transonic_bump_problem
+from repro.solvers.ptc import PTCConfig
+
+
+def main() -> None:
+    # Roe flux-difference splitting (FUN3D's production scheme): at
+    # this Mach it resolves the supersonic pocket Rusanov smears away.
+    prob = transonic_bump_problem(17, 4, 8, mach=0.84, limiter="minmod",
+                                  flux_scheme="roe")
+    print(prob.mesh.summary())
+    print("freestream Mach 0.84, cosine bump (10% height) on the floor\n")
+
+    config = SolverConfig(
+        ptc=PTCConfig(
+            cfl0=2.0,                  # cautious start near a shock
+            exponent=0.75,             # damped SER power (paper Sec. 2.4.1)
+            switch_order_drop=1e-2,    # 1st -> 2nd order after 100x drop
+            first_order_exponent=1.5,  # aggressive while 1st-order
+        ),
+        max_steps=80, target_reduction=3e-6,
+        matrix_free=True, jacobian_lag=2,
+    )
+    rep = NKSSolver(prob.disc, config).solve(prob.initial.flat(),
+                                             verbose=True)
+    print(f"\nconverged: {rep.converged} in {rep.num_steps} steps")
+
+    q = rep.final_state.reshape(-1, 5)
+    rho = q[:, 0]
+    vel = q[:, 1:4] / rho[:, None]
+    p = 0.4 * (q[:, 4] - 0.5 * rho * np.einsum("ij,ij->i", vel, vel))
+    mach = np.linalg.norm(vel, axis=1) / np.sqrt(1.4 * p / rho)
+    print(f"Mach range: {mach.min():.3f} - {mach.max():.3f}")
+
+    # Surface-pressure sweep along the bump centreline.
+    bc = prob.disc.bc
+    floor = bc.vertices[bc.wall_mask]
+    mid = floor[np.abs(prob.mesh.coords[floor, 1] - 0.5) < 0.35]
+    order = np.argsort(prob.mesh.coords[mid, 0])
+    print("\nfloor pressure vs x (freestream p = 1):")
+    for v in mid[order]:
+        x = prob.mesh.coords[v, 0]
+        bar = "#" * int(max(p[v], 0) * 30)
+        print(f"  x={x:5.2f} |{bar} {p[v]:.3f}")
+    print("\nAcceleration over the crest, recompression on the lee side — "
+          "the shock's\nfootprint at this resolution.")
+
+
+if __name__ == "__main__":
+    main()

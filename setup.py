@@ -1,0 +1,6 @@
+"""Setup shim so `pip install -e .` works on offline machines without
+the `wheel` package (legacy editable install path)."""
+
+from setuptools import setup
+
+setup()

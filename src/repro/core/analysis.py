@@ -1,0 +1,86 @@
+"""Solve-history analysis: convergence rates and work-precision data.
+
+Utilities consumed by the examples and ablation benches: asymptotic
+convergence-rate estimation from a residual history, and
+work-precision sweeps (cost to reach each tolerance), the standard way
+to compare solver configurations on equal footing — the paper's "goal
+has been to minimize the overall execution time" yardstick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.driver import NKSSolver, SolveReport
+from repro.euler.problems import FlowProblem
+
+__all__ = ["convergence_rate", "steps_to_reduction", "work_precision",
+           "WorkPrecisionPoint"]
+
+
+def convergence_rate(residuals: np.ndarray, tail: int = 5) -> float:
+    """Geometric-mean reduction factor per step over the history tail.
+
+    < 1 means convergence; values near 0 indicate the superlinear
+    Newton endgame the ΨNKS strategy is designed to reach.
+    """
+    r = np.asarray(residuals, dtype=np.float64)
+    r = r[r > 0]
+    if r.size < 2:
+        return float("nan")
+    tail = min(tail, r.size - 1)
+    return float((r[-1] / r[-1 - tail]) ** (1.0 / tail))
+
+
+def steps_to_reduction(residuals: np.ndarray, reduction: float) -> int | None:
+    """First step index at which ||F||/||F0|| <= reduction (None if
+    never reached)."""
+    r = np.asarray(residuals, dtype=np.float64)
+    if r.size == 0:
+        return None
+    rel = r / r[0]
+    hit = np.nonzero(rel <= reduction)[0]
+    return int(hit[0]) if hit.size else None
+
+
+@dataclass
+class WorkPrecisionPoint:
+    reduction: float
+    steps: int | None
+    linear_iterations: int | None
+    wall_seconds: float | None
+
+
+def work_precision(prob: FlowProblem, config: SolverConfig,
+                   reductions=(1e-2, 1e-4, 1e-6)) -> list[WorkPrecisionPoint]:
+    """One solve, read off the cost of every target tolerance.
+
+    The solve runs once to the tightest target; intermediate costs are
+    extracted from the step records (each tolerance's cost is the work
+    done up to the first step that met it).
+    """
+    import dataclasses
+
+    tightest = min(reductions)
+    cfg = dataclasses.replace(config, target_reduction=tightest)
+    rep: SolveReport = NKSSolver(prob.disc, cfg).solve(prob.initial.flat())
+    rel = rep.residual_history / max(rep.fnorm0, 1e-300)
+    out = []
+    for target in sorted(reductions, reverse=True):
+        hit = np.nonzero(rel <= target)[0]
+        if hit.size == 0:
+            out.append(WorkPrecisionPoint(target, None, None, None))
+            continue
+        k = int(hit[0])
+        steps = rep.steps[: k + 1]
+        out.append(WorkPrecisionPoint(
+            reduction=target,
+            steps=k,
+            linear_iterations=sum(s.linear_iterations for s in steps),
+            wall_seconds=sum(s.time_flux + s.time_assembly + s.time_pcsetup
+                             + s.time_krylov for s in steps),
+        ))
+    return out

@@ -1,0 +1,105 @@
+"""Finite-difference Jacobian assembly via graph coloring.
+
+The classic PETSc technique (SNESComputeJacobianDefaultColor): block
+columns of the Jacobian whose vertices are at graph distance >= 3
+cannot share a row, so one residual difference per *color* recovers
+entire block-column groups at once.  A vertex-centred stencil couples
+distance-<=1 vertices, hence a distance-2 coloring of the vertex graph
+is what makes columns within a color non-overlapping.
+
+For the first-order residual this gives the *exact* FD Jacobian in
+``num_colors x ncomp + 1`` residual evaluations — tens, not
+``ncomp x n_vertices`` — and serves as the oracle for the analytical
+assembly (which freezes the Rusanov dissipation coefficient) and as a
+fallback for flux functions without hand-written Jacobians.  With
+``second_order=True`` the result is the second-order Jacobian
+*truncated to the first-order stencil pattern*: the gradient terms
+couple distance-2 vertices that the pattern (deliberately) drops —
+the same truncation the paper's first-order preconditioner matrix
+embodies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.euler.discretization import EdgeFVDiscretization
+from repro.graph.adjacency import Graph, graph_from_edges
+from repro.graph.coloring import greedy_coloring
+from repro.sparse.bsr import BSRMatrix
+
+__all__ = ["distance2_vertex_coloring", "fd_jacobian_colored"]
+
+
+def distance2_vertex_coloring(graph: Graph) -> np.ndarray:
+    """Greedy coloring of the square of ``graph`` (vertices within
+    distance 2 get distinct colors)."""
+    n = graph.num_vertices
+    # Build the distance-<=2 adjacency: neighbours + neighbours'
+    # neighbours.
+    pairs = []
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        ring2 = np.unique(np.concatenate(
+            [graph.adjncy[graph.xadj[u]: graph.xadj[u + 1]] for u in nbrs]
+        )) if nbrs.size else np.empty(0, dtype=np.int64)
+        ext = np.union1d(nbrs, ring2)
+        ext = ext[ext > v]
+        if ext.size:
+            pairs.append(np.stack([np.full(ext.size, v, dtype=np.int64),
+                                   ext], axis=1))
+    sq = graph_from_edges(n, np.concatenate(pairs) if pairs
+                          else np.empty((0, 2), dtype=np.int64))
+    return greedy_coloring(sq)
+
+
+def fd_jacobian_colored(disc: EdgeFVDiscretization, qflat: np.ndarray, *,
+                        second_order: bool = False,
+                        eps: float | None = None,
+                        colors: np.ndarray | None = None) -> BSRMatrix:
+    """Exact FD Jacobian on the stencil sparsity, one color at a time.
+
+    Returns a BSR matrix with the same block pattern as the analytical
+    assembly.  ``colors`` may be precomputed (reuse across refreshes).
+    """
+    mesh = disc.mesh
+    ncomp = disc.ncomp
+    n = mesh.num_vertices
+    graph = mesh.vertex_graph()
+    if colors is None:
+        colors = distance2_vertex_coloring(graph)
+    if eps is None:
+        eps = np.sqrt(np.finfo(np.float64).eps) * (
+            1.0 + float(np.abs(qflat).max()))
+
+    base = disc.residual(qflat, second_order=second_order)
+    q = qflat.reshape(n, ncomp)
+
+    # Row pattern: for each vertex, itself + its neighbours (where a
+    # perturbation at the column vertex shows up).
+    structure = disc.structure
+    data = np.zeros((structure.nnzb, ncomp, ncomp))
+
+    # Column slot lookup: for row i, the slot of block (i, j).
+    # structure.indices is sorted per row, so use searchsorted.
+    indptr, indices = structure.indptr, structure.indices
+
+    for color in range(int(colors.max()) + 1):
+        cols = np.where(colors == color)[0]
+        if cols.size == 0:
+            continue
+        for comp in range(ncomp):
+            qp = q.copy()
+            qp[cols, comp] += eps
+            rp = disc.residual(qp.ravel(), second_order=second_order)
+            diff = ((rp - base) / eps).reshape(n, ncomp)
+            # Every row affected belongs to exactly one perturbed
+            # column (distance-2 coloring guarantees it): rows = the
+            # perturbed vertices and their neighbours.
+            for j in cols:
+                rows = np.concatenate(([j], graph.neighbors(int(j))))
+                for i in rows:
+                    s, e = indptr[i], indptr[i + 1]
+                    slot = s + int(np.searchsorted(indices[s:e], j))
+                    data[slot, :, comp] = diff[i]
+    return BSRMatrix(indptr=indptr, indices=indices, data=data, nbcols=n)

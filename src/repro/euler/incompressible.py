@@ -1,0 +1,71 @@
+"""Incompressible Euler via artificial compressibility (4 DOFs/vertex)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.euler.boundary import BoundaryCondition
+from repro.euler.discretization import EdgeFVDiscretization
+from repro.euler.fluxes import (incompressible_flux,
+                                incompressible_flux_jacobian,
+                                incompressible_wavespeed)
+from repro.euler.reconstruction import Limiter
+from repro.euler.state import INCOMPRESSIBLE_COMPONENTS, FlowState
+from repro.mesh.dualmesh import DualMetrics
+from repro.mesh.mesh import Mesh
+
+__all__ = ["IncompressibleEuler"]
+
+
+class IncompressibleEuler(EdgeFVDiscretization):
+    """Artificial-compressibility Euler: q = (p, u, v, w) per vertex.
+
+    ``beta`` is Chorin's artificial compressibility parameter; its
+    steady states are independent of beta but the conditioning and the
+    pseudo-acoustic speeds are not (beta ~ O(1-10) x |V|^2 is typical).
+    """
+
+    ncomp = 4
+    components = INCOMPRESSIBLE_COMPONENTS
+
+    def __init__(self, mesh: Mesh, bc: BoundaryCondition,
+                 dual: DualMetrics | None = None, *, beta: float = 10.0,
+                 farfield: FlowState | np.ndarray | None = None,
+                 second_order: bool = True,
+                 limiter: Limiter | str = Limiter.VAN_ALBADA) -> None:
+        super().__init__(mesh, bc, dual, second_order=second_order,
+                         limiter=limiter)
+        self.beta = float(beta)
+        if farfield is not None:
+            self.set_farfield(farfield)
+
+    def set_farfield(self, state: FlowState | np.ndarray) -> None:
+        if isinstance(state, FlowState):
+            self.farfield_state = state.q[0].copy()
+        else:
+            self.farfield_state = np.asarray(state, dtype=np.float64).reshape(4)
+
+    # -- flux family -------------------------------------------------------
+    def _flux(self, q, s):
+        return incompressible_flux(q, s, beta=self.beta)
+
+    def _flux_jacobian(self, q, s):
+        return incompressible_flux_jacobian(q, s, beta=self.beta)
+
+    def _wavespeed(self, q, s):
+        return incompressible_wavespeed(q, s, beta=self.beta)
+
+    def _wall_flux(self, q, n):
+        """Slip wall: only pressure acts on the momentum components."""
+        q = np.atleast_2d(q)
+        n = np.atleast_2d(n)
+        f = np.zeros_like(q)
+        f[:, 1:4] = q[:, 0:1] * n
+        return f
+
+    def _wall_flux_jacobian(self, q, n):
+        q = np.atleast_2d(q)
+        n = np.atleast_2d(n)
+        j = np.zeros((q.shape[0], 4, 4))
+        j[:, 1:4, 0] = n
+        return j

@@ -1,0 +1,116 @@
+"""Roe's approximate Riemann solver for compressible Euler.
+
+FUN3D's production convection scheme is Roe's flux-difference
+splitting; our default Rusanov flux is its maximally dissipative
+cousin.  Roe upwinds each characteristic field by its own wave speed,
+so contact/shear waves (speed ``u.n``) receive ~Mach-times less
+dissipation than the acoustic-scaled Rusanov smearing — visibly
+sharper shocks and boundary pressures at equal mesh.
+
+Vectorised over faces; includes Harten's entropy fix (a parabolic
+floor on the acoustic eigenvalues) to exclude expansion shocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.euler.fluxes import compressible_flux
+
+__all__ = ["roe_flux"]
+
+
+def roe_flux(ql: np.ndarray, qr: np.ndarray, s: np.ndarray, *,
+             gamma: float = 1.4, entropy_fix: float = 0.1) -> np.ndarray:
+    """Roe flux through faces with (non-unit) area vectors ``s``.
+
+    ``entropy_fix`` is Harten's delta as a fraction of the Roe sound
+    speed: acoustic eigenvalues below ``delta`` are floored by
+    ``(lam^2/delta + delta)/2``.
+    """
+    ql = np.atleast_2d(ql)
+    qr = np.atleast_2d(qr)
+    s = np.atleast_2d(s)
+    smag = np.sqrt(np.einsum("ij,ij->i", s, s))
+    n = s / np.maximum(smag, 1e-300)[:, None]
+
+    g1 = gamma - 1.0
+
+    def primitives(q):
+        rho = q[:, 0]
+        vel = q[:, 1:4] / rho[:, None]
+        p = g1 * (q[:, 4] - 0.5 * rho * np.einsum("ij,ij->i", vel, vel))
+        h = (q[:, 4] + p) / rho
+        return rho, vel, p, h
+
+    rl, vl, pl, hl = primitives(ql)
+    rr, vr, pr, hr = primitives(qr)
+
+    # Roe (sqrt-rho weighted) averages.
+    wl = np.sqrt(rl)
+    wr = np.sqrt(rr)
+    wsum = wl + wr
+    u = (wl[:, None] * vl + wr[:, None] * vr) / wsum[:, None]
+    h = (wl * hl + wr * hr) / wsum
+    u2 = np.einsum("ij,ij->i", u, u)
+    a2 = np.maximum(g1 * (h - 0.5 * u2), 1e-12)
+    a = np.sqrt(a2)
+    un = np.einsum("ij,ij->i", u, n)
+    rho = wl * wr                  # Roe-average density
+
+    # Jumps.
+    drho = rr - rl
+    dp = pr - pl
+    dvel = vr - vl
+    dun = np.einsum("ij,ij->i", dvel, n)
+
+    # Wave strengths.
+    alpha_minus = (dp - rho * a * dun) / (2.0 * a2)      # u.n - a
+    alpha_entropy = drho - dp / a2                       # u.n (entropy)
+    alpha_plus = (dp + rho * a * dun) / (2.0 * a2)       # u.n + a
+
+    # Eigenvalues with Harten's fix on the acoustic pair.
+    lam_minus = np.abs(un - a)
+    lam_mid = np.abs(un)
+    lam_plus = np.abs(un + a)
+    delta = entropy_fix * a
+    for lam in (lam_minus, lam_plus):
+        small = lam < delta
+        lam[small] = (lam[small] ** 2 / np.maximum(delta[small], 1e-300)
+                      + delta[small]) * 0.5
+
+    # Right eigenvectors applied to strengths (per component).
+    m = ql.shape[0]
+    diss = np.zeros((m, 5))
+
+    def acoustic(alpha, lam, sign):
+        """alpha * lam * r_{u.n -/+ a}, sign = -1 or +1."""
+        coef = (alpha * lam)[:, None]
+        r = np.empty((m, 5))
+        r[:, 0] = 1.0
+        r[:, 1:4] = u + sign * a[:, None] * n
+        r[:, 4] = h + sign * a * un
+        return coef * r
+
+    diss += acoustic(alpha_minus, lam_minus, -1.0)
+    diss += acoustic(alpha_plus, lam_plus, +1.0)
+
+    # Entropy wave.
+    coef = (alpha_entropy * lam_mid)[:, None]
+    r = np.empty((m, 5))
+    r[:, 0] = 1.0
+    r[:, 1:4] = u
+    r[:, 4] = 0.5 * u2
+    diss += coef * r
+
+    # Shear waves: rho * (dvel - dun n) advected at u.n.
+    shear = dvel - dun[:, None] * n
+    coef = (rho * lam_mid)[:, None]
+    rshear = np.zeros((m, 5))
+    rshear[:, 1:4] = shear
+    rshear[:, 4] = np.einsum("ij,ij->i", u, shear)
+    diss += coef * rshear
+
+    fl = compressible_flux(ql, s, gamma=gamma)
+    fr = compressible_flux(qr, s, gamma=gamma)
+    return 0.5 * (fl + fr) - 0.5 * smag[:, None] * diss

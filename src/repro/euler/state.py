@@ -1,0 +1,96 @@
+"""Flow state containers and freestream constructors.
+
+States are stored *interlaced* — ``q[vertex, component]`` with the
+components of one vertex contiguous — which is the paper's tuned
+layout (Sec. 2.1.1).  ``FlowState.noninterlaced()`` exposes the
+field-major copy used by the layout experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FlowState", "incompressible_freestream", "compressible_freestream",
+           "INCOMPRESSIBLE_COMPONENTS", "COMPRESSIBLE_COMPONENTS"]
+
+INCOMPRESSIBLE_COMPONENTS = ("p", "u", "v", "w")
+COMPRESSIBLE_COMPONENTS = ("rho", "rhou", "rhov", "rhow", "E")
+
+
+@dataclass
+class FlowState:
+    """Interlaced state array plus component metadata."""
+
+    q: np.ndarray                 # (n, ncomp), C-contiguous
+    components: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        self.q = np.ascontiguousarray(self.q, dtype=np.float64)
+        if self.q.ndim != 2 or self.q.shape[1] != len(self.components):
+            raise ValueError("state shape does not match components")
+
+    @property
+    def num_vertices(self) -> int:
+        return self.q.shape[0]
+
+    @property
+    def ncomp(self) -> int:
+        return self.q.shape[1]
+
+    def flat(self) -> np.ndarray:
+        """The interlaced 1-D unknown vector (used by the solvers)."""
+        return self.q.ravel()
+
+    def component(self, name: str) -> np.ndarray:
+        return self.q[:, self.components.index(name)]
+
+    def noninterlaced(self) -> np.ndarray:
+        """Field-major copy: all of component 0, then component 1, ...
+        (the vector-machine layout of the paper's baseline)."""
+        return np.ascontiguousarray(self.q.T)
+
+    def copy(self) -> "FlowState":
+        return FlowState(q=self.q.copy(), components=self.components)
+
+    @classmethod
+    def from_flat(cls, vec: np.ndarray, components: tuple[str, ...]) -> "FlowState":
+        ncomp = len(components)
+        return cls(q=np.asarray(vec, dtype=np.float64).reshape(-1, ncomp),
+                   components=components)
+
+
+def incompressible_freestream(num_vertices: int, *, speed: float = 1.0,
+                              alpha_deg: float = 3.0,
+                              beta_deg: float = 0.0) -> FlowState:
+    """Uniform incompressible freestream (p, u, v, w).
+
+    ``alpha_deg`` is the angle of attack in the x-z plane and
+    ``beta_deg`` the sideslip in the x-y plane; the reference pressure
+    is zero (only gradients matter).
+    """
+    a = np.deg2rad(alpha_deg)
+    b = np.deg2rad(beta_deg)
+    vel = speed * np.array([np.cos(a) * np.cos(b),
+                            np.sin(b),
+                            np.sin(a) * np.cos(b)])
+    q = np.zeros((num_vertices, 4))
+    q[:, 1:4] = vel
+    return FlowState(q=q, components=INCOMPRESSIBLE_COMPONENTS)
+
+
+def compressible_freestream(num_vertices: int, *, mach: float = 0.5,
+                            alpha_deg: float = 3.0, gamma: float = 1.4,
+                            rho: float = 1.0, pressure: float = 1.0) -> FlowState:
+    """Uniform compressible freestream in conservative variables."""
+    c = np.sqrt(gamma * pressure / rho)
+    speed = mach * c
+    a = np.deg2rad(alpha_deg)
+    vel = speed * np.array([np.cos(a), 0.0, np.sin(a)])
+    E = pressure / (gamma - 1.0) + 0.5 * rho * speed**2
+    q = np.zeros((num_vertices, 5))
+    q[:, 0] = rho
+    q[:, 1:4] = rho * vel
+    q[:, 4] = E
+    return FlowState(q=q, components=COMPRESSIBLE_COMPONENTS)

@@ -1,0 +1,91 @@
+"""Regenerate paper tables/figures from the command line.
+
+Usage::
+
+    python -m repro.experiments             # list experiments
+    python -m repro.experiments table3      # run one (prints its table)
+    python -m repro.experiments all         # run everything (slow)
+
+Benchmark-grade runs with shape assertions live in ``benchmarks/``;
+this entry point is the quick interactive path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (run_eq_bounds, run_fig2, run_fig3, run_fig4,
+                               run_fig5, run_table1, run_table2, run_table3,
+                               run_table4, run_table5)
+
+
+def _table1():
+    for comp in (False, True):
+        yield run_table1(dims=(16, 10, 8), cache_scale=16,
+                         linear_its_per_step=3, compressible=comp)
+
+
+def _table3():
+    yield run_table3(procs=(2, 4, 8, 16, 32), size="medium",
+                     max_steps=5).to_table()
+
+
+def _fig1():
+    yield run_table3(procs=(2, 4, 8, 16, 32, 64), size="medium",
+                     max_steps=5).to_fig1_table()
+
+
+def _fig5():
+    result, _histories = run_fig5()
+    yield result
+
+
+EXPERIMENTS = {
+    "table1": _table1,
+    "table2": lambda: [run_table2(procs=(4, 8, 16), size="medium",
+                                  max_steps=4)],
+    "table3": _table3,
+    "table4": lambda: [run_table4(procs=(4, 8), size="medium", max_steps=3)],
+    "table5": lambda: [run_table5(node_counts=(4, 8, 16, 32), size="medium")],
+    "fig1": _fig1,
+    "fig2": lambda: [run_fig2(procs=(2, 4, 8, 16), size="medium",
+                              max_steps=4)],
+    "fig3": lambda: [run_fig3(dims=(16, 10, 8), cache_scale=16)],
+    "fig4": lambda: [run_fig4(procs=(2, 4, 8, 16, 32), size="medium",
+                              max_steps=4)],
+    "fig5": _fig5,
+    "eqbounds": lambda: [run_eq_bounds()],
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment", nargs="?",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which experiment to run (omit to list)")
+    args = parser.parse_args(argv)
+
+    if args.experiment is None:
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        print("  all")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        t0 = time.perf_counter()
+        for result in EXPERIMENTS[name]():
+            print(result.table())
+            print()
+        print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Table 5: hybrid MPI/OpenMP versus pure MPI for the flux phase.
+
+Three ways to use the second CPU of each ASCI Red node for the
+(compute-bound, communication-free) flux evaluation: don't (1
+process/node), split the node's subdomain across 2 OpenMP threads, or
+run 2 MPI processes/node (doubling the subdomain count).  The paper's
+Table 5 shows the thread split winning at scale because halving
+subdomain size inflates the redundantly-computed halo edges.
+
+Reproduction: real k-way partitions at N and 2N subdomains supply the
+halo geometry; the per-edge flux cost model supplies the times.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, default_wing
+from repro.parallel.hybrid import hybrid_flux_times
+from repro.partition.kway import kway_partition
+from repro.perfmodel.machines import ASCI_RED_PPRO, MachineSpec
+
+__all__ = ["run_table5", "PAPER_TABLE5"]
+
+# Paper Table 5: nodes -> (hybrid 1 thr, hybrid 2 thr, mpi 1 proc,
+#                          mpi 2 proc) flux-phase seconds.
+PAPER_TABLE5 = {
+    256: (483, 261, 456, 258),
+    2560: (76, 39, 72, 45),
+    3072: (66, 33, 62, 40),
+}
+
+
+def run_table5(*, node_counts=(4, 8, 16, 32), size: str = "medium",
+               machine: MachineSpec = ASCI_RED_PPRO,
+               seed: int = 0) -> ExperimentResult:
+    """Regenerate Table 5 at scaled node counts."""
+    prob = default_wing(size, seed=seed)
+    graph = prob.mesh.vertex_graph()
+    result = ExperimentResult(
+        name=f"Table 5 analogue ({prob.name} on {machine.name})",
+        headers=["Nodes", "1 thread(s)", "2 threads(s)", "1 proc(s)",
+                 "2 procs(s)", "hybrid/mpi2"],
+    )
+    for nodes in node_counts:
+        l1 = kway_partition(graph, nodes, seed=seed)
+        l2 = kway_partition(graph, 2 * nodes, seed=seed)
+        cmp = hybrid_flux_times(graph, l1, l2, machine,
+                                ncomp=prob.disc.ncomp)
+        result.rows.append([
+            nodes, round(cmp.t_mpi_1, 7), round(cmp.t_hybrid_2, 7),
+            round(cmp.t_mpi_1, 7), round(cmp.t_mpi_2, 7),
+            round(cmp.t_hybrid_2 / cmp.t_mpi_2, 3)])
+    result.notes.append("'1 thread' and '1 proc' coincide by construction "
+                        "(same N-way partition on one CPU)")
+    return result

@@ -1,0 +1,87 @@
+"""Reverse Cuthill-McKee ordering and envelope metrics.
+
+The paper (Sec. 2.1.3) uses RCM for vertex ordering because a
+bandwidth-reducing ordering turns the Jacobian into a narrow-band
+matrix, which both the conflict-miss bound (paper Eq. 2) and the TLB
+behaviour reward.  We implement RCM from scratch (scipy's
+``reverse_cuthill_mckee`` is used only as a test oracle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.graph.traversal import bfs_order, pseudo_peripheral_node
+
+__all__ = ["cuthill_mckee", "rcm_ordering", "bandwidth", "profile"]
+
+
+def cuthill_mckee(graph: Graph) -> np.ndarray:
+    """Cuthill-McKee ordering: ``perm[i]`` = old index of new vertex i.
+
+    Handles disconnected graphs by restarting from a pseudo-peripheral
+    node of each unvisited component, in ascending seed order.
+    """
+    n = graph.num_vertices
+    perm = np.empty(n, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    filled = 0
+    for seed in range(n):
+        if visited[seed]:
+            continue
+        root = _component_peripheral(graph, seed, visited)
+        order = bfs_order(graph, root)
+        order = order[~visited[order]]
+        visited[order] = True
+        perm[filled : filled + order.size] = order
+        filled += order.size
+    assert filled == n
+    return perm
+
+
+def _component_peripheral(graph: Graph, seed: int, visited: np.ndarray) -> int:
+    # pseudo_peripheral_node explores only seed's component, which by
+    # construction contains no visited vertices yet.
+    return pseudo_peripheral_node(graph, seed)
+
+
+def rcm_ordering(graph: Graph) -> np.ndarray:
+    """Reverse Cuthill-McKee: the CM order reversed, the classical
+    envelope-reducing ordering of George & Liu."""
+    return cuthill_mckee(graph)[::-1].copy()
+
+
+def bandwidth(graph: Graph, perm: np.ndarray | None = None) -> int:
+    """Matrix bandwidth ``max |i - j|`` over edges, under an optional
+    ordering ``perm`` (new -> old)."""
+    edges = graph.edge_list()
+    if edges.size == 0:
+        return 0
+    if perm is not None:
+        inv = np.empty(graph.num_vertices, dtype=np.int64)
+        inv[np.asarray(perm, dtype=np.int64)] = np.arange(graph.num_vertices)
+        edges = inv[edges]
+    return int(np.abs(edges[:, 0] - edges[:, 1]).max())
+
+
+def profile(graph: Graph, perm: np.ndarray | None = None) -> int:
+    """Envelope profile: sum over rows of (row index - min column index).
+
+    A finer locality metric than bandwidth; RCM is designed to shrink it.
+    """
+    n = graph.num_vertices
+    edges = graph.edge_list()
+    if edges.size == 0:
+        return 0
+    if perm is not None:
+        inv = np.empty(n, dtype=np.int64)
+        inv[np.asarray(perm, dtype=np.int64)] = np.arange(n)
+        edges = inv[edges]
+    rows = np.maximum(edges[:, 0], edges[:, 1])
+    cols = np.minimum(edges[:, 0], edges[:, 1])
+    first = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(first, rows, cols)
+    present = first < np.iinfo(np.int64).max
+    idx = np.arange(n, dtype=np.int64)
+    return int((idx[present] - first[present]).sum())

@@ -1,0 +1,51 @@
+"""TLB model: a fully associative LRU cache over memory pages.
+
+The R10000 TLB holds 64 entries of (typically) 16 KB pages; the paper
+found ~70% of the untuned code's time went to TLB miss service, and
+Fig. 3 shows edge reordering cutting TLB misses by two orders of
+magnitude.  Reusing :class:`CacheSim` with page-sized lines and full
+associativity models exactly the event the R10000 counter counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memory.cache import CacheConfig, CacheCounters, CacheSim
+
+__all__ = ["TLBConfig", "tlb_sim", "tlb_cache_config"]
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    name: str
+    entries: int
+    page_bytes: int
+
+    @property
+    def reach_bytes(self) -> int:
+        """Total memory covered by a full TLB (its 'capacity')."""
+        return self.entries * self.page_bytes
+
+    @property
+    def page_words(self) -> int:
+        """Page size in double words (the paper's W_mem analogue)."""
+        return self.page_bytes // 8
+
+
+def tlb_cache_config(cfg: TLBConfig) -> CacheConfig:
+    return CacheConfig(name=cfg.name, capacity_bytes=cfg.reach_bytes,
+                       line_bytes=cfg.page_bytes, associativity=cfg.entries)
+
+
+def tlb_sim(cfg: TLBConfig) -> CacheSim:
+    """A fresh TLB simulator (CacheSim with one fully-associative set)."""
+    return CacheSim(tlb_cache_config(cfg))
+
+
+def simulate_tlb(addresses: np.ndarray, cfg: TLBConfig) -> CacheCounters:
+    sim = tlb_sim(cfg)
+    sim.access(addresses)
+    return sim.counters

@@ -1,0 +1,150 @@
+"""Median-dual finite-volume metrics for edge-based discretisations.
+
+FUN3D is a vertex-centred finite-volume code: each vertex owns the
+median-dual control volume, and fluxes are exchanged across the dual
+faces associated with mesh *edges*.  For edge (a, b) inside one tet,
+the dual face is the (possibly non-planar) quadrilateral through the
+edge midpoint, the centroids of the two faces containing the edge, and
+the tet centroid.  Summing these per-tet quadrilateral area vectors
+over all tets sharing the edge gives the edge's directed area ``s_ab``
+(oriented from a to b).
+
+Key discrete identity (tested as a property): for every vertex the
+closed-surface condition holds,
+
+    sum_{edges (v, j)} s_vj  (outward from v)  +  (boundary dual areas at v)  =  0,
+
+which is what makes the edge-based flux loop conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.edges import TET_EDGE_LOCAL, boundary_faces, tet_edge_indices
+from repro.mesh.mesh import Mesh
+
+__all__ = ["DualMetrics", "compute_dual_metrics"]
+
+# For local edge (a, b) of TET_EDGE_LOCAL, the two local faces sharing
+# it are the faces opposite the two *other* vertices.  Store the two
+# remaining local vertex ids (c, d) such that faces (a,b,c) and (a,b,d)
+# are the ones adjacent to the edge.
+_EDGE_OPPOSITE = np.array(
+    [[2, 3], [1, 3], [1, 2], [0, 3], [0, 2], [0, 1]], dtype=np.int64
+)
+
+
+@dataclass
+class DualMetrics:
+    """Geometric quantities of the median-dual tessellation.
+
+    Attributes
+    ----------
+    edge_normals:
+        ``(ne, 3)`` directed dual-face area vectors, oriented from
+        ``edges[:,0]`` toward ``edges[:,1]``.
+    dual_volumes:
+        ``(n,)`` positive volume of each vertex's control volume; sums
+        to the total mesh volume.
+    bnd_faces:
+        ``(nb, 3)`` boundary triangles (outward wound).
+    bnd_vertex_normals:
+        ``(n, 3)`` outward boundary area assigned to each vertex (zero
+        for interior vertices); each boundary triangle contributes a
+        third of its area vector to each of its corners.
+    """
+
+    edge_normals: np.ndarray
+    dual_volumes: np.ndarray
+    bnd_faces: np.ndarray
+    bnd_vertex_normals: np.ndarray
+
+    @property
+    def boundary_vertices(self) -> np.ndarray:
+        """Indices of vertices with nonzero boundary area."""
+        mag = np.linalg.norm(self.bnd_vertex_normals, axis=1)
+        return np.where(mag > 0)[0].astype(np.int64)
+
+    def closure_defect(self, edges: np.ndarray) -> np.ndarray:
+        """Per-vertex closed-surface defect (should be ~0); see module doc."""
+        n = self.dual_volumes.shape[0]
+        acc = np.zeros((n, 3))
+        np.add.at(acc, edges[:, 0], self.edge_normals)
+        np.add.at(acc, edges[:, 1], -self.edge_normals)
+        acc += self.bnd_vertex_normals
+        return np.linalg.norm(acc, axis=1)
+
+
+def compute_dual_metrics(mesh: Mesh) -> DualMetrics:
+    """Compute median-dual metrics for ``mesh`` (fully vectorised)."""
+    p = mesh.coords
+    tets = mesh.tets
+    edges = mesh.edges
+    n = mesh.num_vertices
+
+    # --- dual volumes: each vertex gets 1/4 of every incident tet ------
+    vols = mesh.tet_volumes()
+    if np.any(vols <= 0):
+        raise ValueError("mesh has non-positive tet volumes")
+    dual_volumes = np.zeros(n)
+    np.add.at(dual_volumes, tets.ravel(),
+              np.repeat(vols / 4.0, 4))
+
+    # --- per-tet edge dual-face area vectors ---------------------------
+    # Geometry points, shaped (nt, 4, 3) for corners.
+    corners = p[tets]                      # (nt, 4, 3)
+    centroid = corners.mean(axis=1)        # (nt, 3)
+
+    a_loc = TET_EDGE_LOCAL[:, 0]           # (6,)
+    b_loc = TET_EDGE_LOCAL[:, 1]
+    c_loc = _EDGE_OPPOSITE[:, 0]
+    d_loc = _EDGE_OPPOSITE[:, 1]
+
+    A = corners[:, a_loc]                  # (nt, 6, 3)
+    B = corners[:, b_loc]
+    C = corners[:, c_loc]
+    D = corners[:, d_loc]
+
+    mid = 0.5 * (A + B)                    # edge midpoints
+    f1 = (A + B + C) / 3.0                 # centroid of face (a, b, c)
+    f2 = (A + B + D) / 3.0                 # centroid of face (a, b, d)
+    ct = centroid[:, None, :]              # (nt, 1, 3)
+
+    # Dual face = quad (mid, f1, ct, f2); its area vector is half the
+    # cross product of its diagonals (exact even for non-planar quads).
+    area = 0.5 * np.cross(ct - mid, f2 - f1)   # (nt, 6, 3)
+
+    # Orient each contribution from a toward b.
+    eab = B - A
+    sign = np.sign(np.einsum("teX,teX->te", area, eab))
+    sign[sign == 0] = 1.0
+    area *= sign[..., None]
+
+    # Scatter per-tet contributions onto global edges, respecting the
+    # global edge direction.
+    eidx, esign = tet_edge_indices(tets, edges, n)     # (nt, 6) each
+    edge_normals = np.zeros((edges.shape[0], 3))
+    contrib = area * esign[..., None]
+    np.add.at(edge_normals, eidx.ravel(), contrib.reshape(-1, 3))
+
+    # --- boundary dual areas -------------------------------------------
+    bfaces = boundary_faces(tets)
+    bnd_vertex_normals = np.zeros((n, 3))
+    if bfaces.size:
+        va = p[bfaces[:, 0]]
+        vb = p[bfaces[:, 1]]
+        vc = p[bfaces[:, 2]]
+        face_area = 0.5 * np.cross(vb - va, vc - va)   # outward by winding
+        third = face_area / 3.0
+        for k in range(3):
+            np.add.at(bnd_vertex_normals, bfaces[:, k], third)
+
+    return DualMetrics(
+        edge_normals=edge_normals,
+        dual_volumes=dual_volumes,
+        bnd_faces=bfaces,
+        bnd_vertex_normals=bnd_vertex_normals,
+    )

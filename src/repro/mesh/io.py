@@ -1,0 +1,50 @@
+"""Mesh (de)serialisation.
+
+Meshes save to a single compressed ``.npz``: coordinates, tets, edges,
+and the name.  Round-trips are exact (float64/int64 preserved), so
+generated meshes can be reused across experiment runs — the paper's
+workflow of running many solver configurations against one grid.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+__all__ = ["save_mesh", "load_mesh"]
+
+_FORMAT_VERSION = 1
+
+
+def save_mesh(mesh: Mesh, path: str | pathlib.Path) -> pathlib.Path:
+    """Write ``mesh`` to ``path`` (``.npz`` appended if missing)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        coords=mesh.coords,
+        tets=mesh.tets,
+        edges=mesh.edges,
+        name=np.bytes_(mesh.name.encode("utf-8")),
+    )
+    return path
+
+
+def load_mesh(path: str | pathlib.Path) -> Mesh:
+    """Read a mesh written by :func:`save_mesh`."""
+    with np.load(pathlib.Path(path), allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version > _FORMAT_VERSION:
+            raise ValueError(f"mesh file format {version} is newer than "
+                             f"supported ({_FORMAT_VERSION})")
+        return Mesh(
+            coords=data["coords"],
+            tets=data["tets"],
+            edges=data["edges"],
+            name=bytes(data["name"]).decode("utf-8"),
+        )

@@ -1,0 +1,68 @@
+"""Legacy-VTK output of meshes and solution fields.
+
+Writes ASCII legacy ``.vtk`` unstructured-grid files (tetra cells +
+point data) readable by ParaView/VisIt — the standard way a user of a
+CFD library inspects the flow field, the partition, or the ordering.
+Kept to the legacy format so the writer is dependency-free and
+round-trippable by the small parser used in the tests.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+__all__ = ["save_vtk"]
+
+_VTK_TETRA = 10
+
+
+def save_vtk(mesh: Mesh, path: str | pathlib.Path, *,
+             point_data: dict[str, np.ndarray] | None = None,
+             title: str | None = None) -> pathlib.Path:
+    """Write ``mesh`` (and optional per-vertex fields) as legacy VTK.
+
+    ``point_data`` values may be scalars ``(n,)`` or vectors ``(n, 3)``;
+    multi-component states should be passed one named component at a
+    time (e.g. ``{"pressure": q[:, 0], "velocity": q[:, 1:4]}``).
+    """
+    path = pathlib.Path(path)
+    if path.suffix != ".vtk":
+        path = path.with_suffix(".vtk")
+    n = mesh.num_vertices
+    nt = mesh.num_tets
+    lines = [
+        "# vtk DataFile Version 3.0",
+        title or f"repro mesh {mesh.name}",
+        "ASCII",
+        "DATASET UNSTRUCTURED_GRID",
+        f"POINTS {n} double",
+    ]
+    lines += [" ".join(f"{x:.17g}" for x in row) for row in mesh.coords]
+    lines.append(f"CELLS {nt} {5 * nt}")
+    lines += ["4 " + " ".join(str(v) for v in tet) for tet in mesh.tets]
+    lines.append(f"CELL_TYPES {nt}")
+    lines += [str(_VTK_TETRA)] * nt
+
+    if point_data:
+        lines.append(f"POINT_DATA {n}")
+        for name, arr in point_data.items():
+            arr = np.asarray(arr, dtype=np.float64)
+            if " " in name:
+                raise ValueError(f"VTK field names cannot contain spaces: "
+                                 f"{name!r}")
+            if arr.shape == (n,):
+                lines.append(f"SCALARS {name} double 1")
+                lines.append("LOOKUP_TABLE default")
+                lines += [f"{v:.17g}" for v in arr]
+            elif arr.shape == (n, 3):
+                lines.append(f"VECTORS {name} double")
+                lines += [" ".join(f"{x:.17g}" for x in row) for row in arr]
+            else:
+                raise ValueError(f"field {name!r} must be (n,) or (n, 3), "
+                                 f"got {arr.shape}")
+    path.write_text("\n".join(lines) + "\n")
+    return path

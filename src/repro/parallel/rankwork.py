@@ -1,0 +1,145 @@
+"""Per-rank operation counts derived from a partition.
+
+Each rank's per-phase flop and byte counts follow from what it owns:
+
+* **flux phase** — every edge with an owned endpoint (cut edges are
+  computed on *both* sides: the halo redundancy that also drives the
+  hybrid-model comparison of Table 5);
+* **SpMV / Jacobian** — the local block rows: one diagonal block per
+  owned vertex plus two off-diagonal blocks per incident edge;
+* **preconditioner** — ILU factor traffic, scaled by a fill ratio and
+  by the factor storage precision (Table 2's knob).
+
+These counts are machine-independent; :mod:`repro.parallel.simulate`
+turns them into seconds with a MachineSpec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+
+__all__ = ["RankWork", "build_rank_work"]
+
+# Flop cost per edge flux (Rusanov, per component) — matches
+# EdgeFVDiscretization.residual_flops's per-edge constant.
+_FLUX_FLOPS_PER_EDGE_COMP = 14
+_FLUX_FLOPS_PER_EDGE_BASE = 14
+
+
+@dataclass
+class RankWork:
+    """Operation counts for one rank."""
+
+    rank: int
+    owned_vertices: int
+    local_edges: int            # edges with >= 1 owned endpoint
+    interior_edges: int         # both endpoints owned
+    halo_edges: int             # cut edges (computed redundantly)
+    ncomp: int
+    fill_ratio: float = 2.0     # ILU(k) nnz / A nnz
+    value_bytes: int = 8
+    index_bytes: int = 4
+    precond_value_bytes: int = 8
+
+    # -- flux phase ------------------------------------------------------
+    @property
+    def flux_flops(self) -> int:
+        per_edge = (_FLUX_FLOPS_PER_EDGE_BASE
+                    + _FLUX_FLOPS_PER_EDGE_COMP * self.ncomp)
+        return self.local_edges * per_edge
+
+    @property
+    def flux_traffic(self) -> int:
+        """Compulsory bytes: states + normals + residual in/out."""
+        per_edge = (2 * self.index_bytes            # endpoints
+                    + 3 * self.value_bytes)         # normal
+        per_vertex = 3 * self.ncomp * self.value_bytes  # q, r read+write
+        return self.local_edges * per_edge + self.owned_vertices * per_vertex
+
+    # -- Jacobian blocks owned by this rank --------------------------------
+    @property
+    def local_block_nnz(self) -> int:
+        return self.owned_vertices + 2 * self.interior_edges + self.halo_edges
+
+    @property
+    def jacobian_scalar_nnz(self) -> int:
+        return self.local_block_nnz * self.ncomp * self.ncomp
+
+    # -- per-Krylov-iteration kernels ---------------------------------------
+    @property
+    def spmv_flops(self) -> int:
+        return 2 * self.jacobian_scalar_nnz
+
+    @property
+    def spmv_traffic(self) -> int:
+        return (self.jacobian_scalar_nnz * self.value_bytes
+                + self.local_block_nnz * self.index_bytes
+                + 3 * self.owned_vertices * self.ncomp * self.value_bytes)
+
+    @property
+    def pcapply_flops(self) -> int:
+        return int(2 * self.fill_ratio * self.jacobian_scalar_nnz)
+
+    @property
+    def pcapply_traffic(self) -> int:
+        """Triangular-solve traffic: factor values at the *storage*
+        precision (the Table 2 lever) plus vector in/out."""
+        return int(self.fill_ratio * self.jacobian_scalar_nnz
+                   * self.precond_value_bytes
+                   + self.fill_ratio * self.local_block_nnz * self.index_bytes
+                   + 4 * self.owned_vertices * self.ncomp * self.value_bytes)
+
+    @property
+    def krylov_vector_flops(self) -> int:
+        """Axpys + dots of one GMRES iteration (~restart/2 vectors live);
+        approximated as 4 vector ops over the owned unknowns."""
+        return 8 * self.owned_vertices * self.ncomp
+
+    @property
+    def krylov_vector_traffic(self) -> int:
+        return 4 * 2 * self.owned_vertices * self.ncomp * self.value_bytes
+
+    # -- preconditioner setup ------------------------------------------------
+    @property
+    def pcsetup_flops(self) -> int:
+        """ILU factorisation ~ fill^2 x nnz block ops."""
+        return int(2 * self.fill_ratio**2 * self.jacobian_scalar_nnz
+                   * self.ncomp)
+
+    @property
+    def pcsetup_traffic(self) -> int:
+        return int(3 * self.fill_ratio * self.jacobian_scalar_nnz
+                   * self.value_bytes)
+
+
+def build_rank_work(graph: Graph, labels: np.ndarray, ncomp: int, *,
+                    fill_ratio: float = 2.0,
+                    precond_value_bytes: int = 8) -> list[RankWork]:
+    """Per-rank work from a vertex partition of the mesh graph."""
+    labels = np.asarray(labels, dtype=np.int64)
+    nparts = int(labels.max()) + 1 if labels.size else 0
+    owned = np.bincount(labels, minlength=nparts)
+
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64),
+                    np.diff(graph.xadj))
+    dst = graph.adjncy
+    up = src < dst
+    a, b = labels[src[up]], labels[dst[up]]
+    same = a == b
+    interior = np.bincount(a[same], minlength=nparts)
+    halo = (np.bincount(a[~same], minlength=nparts)
+            + np.bincount(b[~same], minlength=nparts))
+
+    return [RankWork(rank=r,
+                     owned_vertices=int(owned[r]),
+                     local_edges=int(interior[r] + halo[r]),
+                     interior_edges=int(interior[r]),
+                     halo_edges=int(halo[r]),
+                     ncomp=ncomp,
+                     fill_ratio=fill_ratio,
+                     precond_value_bytes=precond_value_bytes)
+            for r in range(nparts)]

@@ -1,0 +1,85 @@
+"""Ghost-point exchange plans derived from a partition.
+
+For a vertex partition of the mesh graph, rank p owns its labelled
+vertices and needs a *ghost* copy of every off-rank vertex adjacent to
+an owned one — refreshed by a scatter (PETSc's VecScatter) once per
+matrix-vector product / residual evaluation.  The plan records, per
+rank, the ghost counts, the neighbour ranks (message counts), and the
+bytes moved, which is everything the paper's Table 3 communication
+columns need ("Total Data Sent per Iteration", scatter percentages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+
+__all__ = ["GhostExchangePlan", "build_exchange_plan"]
+
+
+@dataclass
+class GhostExchangePlan:
+    nparts: int
+    owned: np.ndarray            # (p,) owned vertex counts
+    ghosts: np.ndarray           # (p,) ghost vertices needed by each rank
+    sends: np.ndarray            # (p,) vertex values each rank must send
+    neighbors: np.ndarray        # (p,) distinct neighbour ranks
+    cut_edges: int
+
+    def recv_bytes(self, ncomp: int, value_bytes: int = 8) -> np.ndarray:
+        return self.ghosts * ncomp * value_bytes
+
+    def send_bytes(self, ncomp: int, value_bytes: int = 8) -> np.ndarray:
+        return self.sends * ncomp * value_bytes
+
+    def total_bytes_per_exchange(self, ncomp: int,
+                                 value_bytes: int = 8) -> int:
+        """Total payload crossing the network in one ghost refresh."""
+        return int(self.send_bytes(ncomp, value_bytes).sum())
+
+    @property
+    def max_messages(self) -> int:
+        return int(self.neighbors.max(initial=0))
+
+    @property
+    def ghost_fraction(self) -> np.ndarray:
+        """Ghosts per owned vertex — the surface-to-volume ratio that
+        grows as subdomains shrink (the paper's Sec. 2.3.1 point)."""
+        return self.ghosts / np.maximum(self.owned, 1)
+
+
+def build_exchange_plan(graph: Graph, labels: np.ndarray) -> GhostExchangePlan:
+    """Build the exchange plan for a vertex partition (vectorised)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    n = graph.num_vertices
+    nparts = int(labels.max()) + 1 if labels.size else 0
+    owned = np.bincount(labels, minlength=nparts)
+
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    dst = graph.adjncy
+    cut = labels[src] != labels[dst]
+    cut_edges = int(cut.sum()) // 2
+
+    # (requesting rank, ghost vertex) pairs, deduplicated: rank label[u]
+    # needs vertex v for every cut arc u -> v.
+    req = labels[src[cut]]
+    gv = dst[cut]
+    pair_key = req * np.int64(n) + gv
+    uniq = np.unique(pair_key)
+    req_u = (uniq // n).astype(np.int64)
+    gv_u = (uniq % n).astype(np.int64)
+    ghosts = np.bincount(req_u, minlength=nparts)
+    # Every ghost copy is sent by its owner (one send per requester).
+    sends = np.bincount(labels[gv_u], minlength=nparts)
+
+    # Distinct neighbour ranks per rank (messages per exchange).
+    nbr_key = np.unique(req * np.int64(nparts) + labels[gv])
+    neighbors = np.bincount((nbr_key // nparts).astype(np.int64),
+                            minlength=nparts)
+
+    return GhostExchangePlan(nparts=nparts, owned=owned, ghosts=ghosts,
+                             sends=sends, neighbors=neighbors,
+                             cut_edges=cut_edges)

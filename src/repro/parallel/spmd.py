@@ -1,0 +1,234 @@
+"""Functional SPMD execution of the partitioned kernels.
+
+The other modules in this package *price* communication; this one
+*performs* it.  Each rank owns its labelled vertices, holds ghost
+copies of off-rank neighbours, and computes with purely local arrays;
+a :class:`GhostExchange` step refreshes the ghosts (the VecScatter).
+Running the flux loop and SpMV this way and comparing owned rows
+against the sequential kernels validates the exchange plans and the
+halo bookkeeping with real data — the correctness side of the Table 3
+machinery.
+
+This is a deterministic simulation of the MPI program, executed rank
+by rank in one process (the environment has no MPI); the data each
+rank touches is restricted to its local arrays, so any bookkeeping
+error produces wrong numbers rather than silent reuse of global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.euler.discretization import EdgeFVDiscretization
+from repro.graph.adjacency import Graph
+from repro.sparse.bsr import BSRMatrix
+
+__all__ = ["RankLocalData", "SPMDLayout", "GhostExchange",
+           "distributed_residual", "distributed_matvec", "distributed_dot"]
+
+
+@dataclass
+class RankLocalData:
+    """One rank's local index world.
+
+    ``local_vertices`` = owned then ghosts (global ids); all per-rank
+    arrays are indexed by local position.  ``edge_ids`` are the global
+    edges with at least one owned endpoint (halo edges appear on both
+    sharing ranks, recomputed redundantly — as in the real code).
+    """
+
+    rank: int
+    owned: np.ndarray             # global vertex ids, sorted
+    ghosts: np.ndarray            # global vertex ids, sorted
+    edge_ids: np.ndarray          # global edge ids of the local edge set
+    local_edges: np.ndarray       # (m, 2) local indices of those edges
+    ghost_owner: np.ndarray       # owning rank of each ghost
+
+    @property
+    def local_vertices(self) -> np.ndarray:
+        return np.concatenate([self.owned, self.ghosts])
+
+    @property
+    def n_owned(self) -> int:
+        return int(self.owned.size)
+
+    @property
+    def n_local(self) -> int:
+        return self.n_owned + int(self.ghosts.size)
+
+
+@dataclass
+class SPMDLayout:
+    """The full set of rank-local worlds for one partition."""
+
+    labels: np.ndarray
+    ranks: list[RankLocalData] = field(default_factory=list)
+
+    @property
+    def nranks(self) -> int:
+        return len(self.ranks)
+
+    @classmethod
+    def build(cls, edges: np.ndarray, labels: np.ndarray) -> "SPMDLayout":
+        labels = np.asarray(labels, dtype=np.int64)
+        edges = np.asarray(edges, dtype=np.int64)
+        nranks = int(labels.max()) + 1 if labels.size else 0
+        layout = cls(labels=labels)
+        la = labels[edges[:, 0]]
+        lb = labels[edges[:, 1]]
+        for r in range(nranks):
+            owned = np.where(labels == r)[0]
+            emask = (la == r) | (lb == r)
+            eids = np.where(emask)[0]
+            le = edges[eids]
+            ghosts = np.setdiff1d(np.unique(le), owned)
+            # Global -> local translation table.
+            lv = np.concatenate([owned, ghosts])
+            lut = {int(g): i for i, g in enumerate(lv)}
+            local_edges = np.array([[lut[int(a)], lut[int(b)]]
+                                    for a, b in le], dtype=np.int64) \
+                if le.size else np.empty((0, 2), dtype=np.int64)
+            layout.ranks.append(RankLocalData(
+                rank=r, owned=owned, ghosts=ghosts, edge_ids=eids,
+                local_edges=local_edges, ghost_owner=labels[ghosts]))
+        return layout
+
+
+class GhostExchange:
+    """The scatter: refresh every rank's ghost values from the owners.
+
+    Executed pairwise so message counts and payloads are observable;
+    ``messages`` and ``bytes_moved`` accumulate across calls (compare
+    against :class:`repro.parallel.scatter.GhostExchangePlan`).
+    """
+
+    def __init__(self, layout: SPMDLayout, ncomp: int) -> None:
+        self.layout = layout
+        self.ncomp = ncomp
+        self.messages = 0
+        self.bytes_moved = 0
+
+    def refresh(self, local_q: list[np.ndarray]) -> None:
+        """Update the ghost tail of each rank's local state in place.
+
+        ``local_q[r]`` has shape (n_local_r, ncomp): owned rows first.
+        """
+        layout = self.layout
+        # Owner-side lookup: global id -> (rank, owned position).
+        for r, rd in enumerate(layout.ranks):
+            if rd.ghosts.size == 0:
+                continue
+            for owner in np.unique(rd.ghost_owner):
+                sel = rd.ghost_owner == owner
+                gids = rd.ghosts[sel]
+                src = layout.ranks[int(owner)]
+                pos = np.searchsorted(src.owned, gids)
+                payload = local_q[int(owner)][pos]          # owned rows
+                local_q[r][rd.n_owned + np.where(sel)[0]] = payload
+                self.messages += 1
+                self.bytes_moved += payload.size * payload.itemsize
+
+
+def _scatter_local_state(layout: SPMDLayout, qglobal: np.ndarray,
+                         ncomp: int) -> list[np.ndarray]:
+    """Initial distribution: each rank receives only its owned rows
+    (ghost rows start as garbage and must come from an exchange)."""
+    q = qglobal.reshape(-1, ncomp)
+    out = []
+    for rd in layout.ranks:
+        local = np.full((rd.n_local, ncomp), np.nan)
+        local[: rd.n_owned] = q[rd.owned]
+        out.append(local)
+    return out
+
+
+def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
+                         qglobal: np.ndarray,
+                         exchange: GhostExchange | None = None
+                         ) -> np.ndarray:
+    """First-order residual computed rank by rank on local data.
+
+    Each rank evaluates fluxes on its local edge set with purely local
+    state (ghosts refreshed by one exchange), accumulates only its
+    owned rows, and the owned rows are gathered into the global vector.
+    Must equal ``disc.residual(q, second_order=False)`` exactly.
+    """
+    ncomp = disc.ncomp
+    ex = exchange or GhostExchange(layout, ncomp)
+    local_q = _scatter_local_state(layout, qglobal, ncomp)
+    ex.refresh(local_q)
+
+    from repro.euler.fluxes import rusanov_flux
+
+    out = np.zeros((disc.mesh.num_vertices, ncomp))
+    for rd in layout.ranks:
+        if rd.local_edges.size == 0:
+            r_local = np.zeros((rd.n_local, ncomp))
+        else:
+            ql = local_q[rd.rank][rd.local_edges[:, 0]]
+            qr = local_q[rd.rank][rd.local_edges[:, 1]]
+            s = disc.dual.edge_normals[rd.edge_ids]
+            f = rusanov_flux(ql, qr, s, disc._flux, disc._wavespeed)
+            r_local = np.zeros((rd.n_local, ncomp))
+            np.add.at(r_local, rd.local_edges[:, 0], f)
+            np.add.at(r_local, rd.local_edges[:, 1], -f)
+        # Boundary closures on owned boundary vertices.
+        bc = disc.bc
+        owned_set = rd.owned
+        bmask = np.isin(bc.vertices, owned_set, assume_unique=False)
+        if bmask.any():
+            bv = bc.vertices[bmask]
+            lpos = np.searchsorted(rd.owned, bv)
+            qb = local_q[rd.rank][lpos]
+            kinds = bc.kinds[bmask]
+            normals = bc.normals[bmask]
+            wall = kinds == bc.WALL
+            if wall.any():
+                r_local[lpos[wall]] += disc._wall_flux(qb[wall],
+                                                       normals[wall])
+            far = ~wall
+            if far.any():
+                qe = np.broadcast_to(disc.farfield_state,
+                                     qb[far].shape)
+                r_local[lpos[far]] += rusanov_flux(
+                    qb[far], qe, normals[far], disc._flux,
+                    disc._wavespeed)
+        out[rd.owned] = r_local[: rd.n_owned]
+    return out.ravel()
+
+
+def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
+                       xglobal: np.ndarray,
+                       exchange: GhostExchange | None = None) -> np.ndarray:
+    """y = A x computed rank by rank: each rank holds its owned block
+    rows (whose columns reach only owned + ghost vertices) and local x;
+    one exchange refreshes the ghosts first."""
+    bs = a.bs
+    ex = exchange or GhostExchange(layout, bs)
+    local_x = _scatter_local_state(layout, xglobal, bs)
+    ex.refresh(local_x)
+    y = np.zeros((a.nbrows, bs))
+    for rd in layout.ranks:
+        lut = np.full(a.nbrows, -1, dtype=np.int64)
+        lut[rd.local_vertices] = np.arange(rd.n_local)
+        for pos, i in enumerate(rd.owned):
+            s, e = a.indptr[i], a.indptr[i + 1]
+            cols = lut[a.indices[s:e]]
+            if np.any(cols < 0):
+                raise ValueError("matrix couples beyond the ghost layer")
+            y[i] = np.einsum("kij,kj->i", a.data[s:e],
+                             local_x[rd.rank][cols])
+    return y.ravel()
+
+
+def distributed_dot(layout: SPMDLayout, xglobal: np.ndarray,
+                    yglobal: np.ndarray, ncomp: int) -> float:
+    """Global dot product as partial sums over owned rows + allreduce
+    (the reduction whose latency Table 3 prices)."""
+    x = xglobal.reshape(-1, ncomp)
+    y = yglobal.reshape(-1, ncomp)
+    partials = [float(np.sum(x[rd.owned] * y[rd.owned]))
+                for rd in layout.ranks]
+    return float(np.sum(partials))   # the allreduce

@@ -1,0 +1,104 @@
+"""Strict-balance recursive bisection (the p-MeTiS analogue).
+
+p-MeTiS balances the number of vertices per part almost perfectly.  We
+emulate it with recursive *level-set* bisection: build a BFS level
+structure from a pseudo-peripheral vertex and cut at the exact weight
+median.  The median cut guarantees near-perfect balance, but because
+it slices level sets mid-way (and because recursion composes such
+slices), the resulting parts are frequently *disconnected* — which is
+precisely the property the paper blames for p-MeTiS's slower NKS
+convergence (disconnected pieces act as extra preconditioner blocks).
+
+A strict-balance FM pass (moves only when they do not worsen the
+spread) cleans the cut without sacrificing balance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.graph.traversal import bfs_levels, pseudo_peripheral_node
+from repro.partition.refine import fm_refine
+
+__all__ = ["bisect_level_set", "pmetis_partition"]
+
+
+def bisect_level_set(graph: Graph, seed: int = 0) -> np.ndarray:
+    """Split a graph into two halves of (near-)equal vertex weight.
+
+    Returns a boolean array: True = second half.  Vertices are ranked
+    by (BFS level from a pseudo-peripheral node, vertex id) and the
+    ranking is cut at the weight median.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    root = pseudo_peripheral_node(graph, start=seed % n)
+    level = bfs_levels(graph, [root])
+    # Unreachable vertices (disconnected input) go last.
+    level = np.where(level < 0, level.max() + 1, level)
+    order = np.lexsort((np.arange(n), level))
+    w = graph.vwgt[order].astype(np.float64)
+    csum = np.cumsum(w)
+    half = csum[-1] / 2.0
+    split = int(np.searchsorted(csum, half, side="left")) + 1
+    split = min(max(split, 1), n - 1) if n > 1 else 1
+    out = np.zeros(n, dtype=bool)
+    out[order[split:]] = True
+    return out
+
+
+def pmetis_partition(graph: Graph, nparts: int, *, seed: int = 0,
+                     refine: bool = True) -> np.ndarray:
+    """Recursive strict-balance bisection into ``nparts`` parts.
+
+    Non-power-of-two part counts are handled by splitting weight
+    proportionally (a ``k = a + b`` split cuts at a/(a+b) of the
+    weight), as recursive-bisection partitioners do.
+    """
+    n = graph.num_vertices
+    if nparts < 1:
+        raise ValueError("nparts must be >= 1")
+    if nparts > n:
+        raise ValueError("more parts than vertices")
+    labels = np.zeros(n, dtype=np.int64)
+    _recurse(graph, np.arange(n, dtype=np.int64), nparts, 0, labels, seed)
+    if refine and nparts > 1:
+        labels = fm_refine(graph, labels, nparts, strict_balance=True,
+                           max_passes=4)
+    return labels
+
+
+def _recurse(root: Graph, vertices: np.ndarray, nparts: int,
+             base: int, labels: np.ndarray, seed: int) -> None:
+    if nparts == 1:
+        labels[vertices] = base
+        return
+    left_parts = nparts // 2
+    right_parts = nparts - left_parts
+    sub, _ = root.subgraph(vertices)
+    frac = left_parts / nparts
+    second = _weighted_bisect(sub, frac, seed)
+    _recurse(root, vertices[~second], left_parts, base, labels, seed + 1)
+    _recurse(root, vertices[second], right_parts, base + left_parts,
+             labels, seed + 2)
+
+
+def _weighted_bisect(graph: Graph, frac: float, seed: int) -> np.ndarray:
+    """Level-set cut putting ``frac`` of the weight in the first side."""
+    n = graph.num_vertices
+    if n == 1:
+        return np.zeros(1, dtype=bool)
+    root = pseudo_peripheral_node(graph, start=seed % n)
+    level = bfs_levels(graph, [root])
+    level = np.where(level < 0, level.max() + 1, level)
+    order = np.lexsort((np.arange(n), level))
+    w = graph.vwgt[order].astype(np.float64)
+    csum = np.cumsum(w)
+    target = csum[-1] * frac
+    split = int(np.searchsorted(csum, target, side="left")) + 1
+    split = min(max(split, 1), n - 1)
+    out = np.zeros(n, dtype=bool)
+    out[order[split:]] = True
+    return out

@@ -1,0 +1,117 @@
+"""Instruction-scheduling performance model for the flux kernel.
+
+The paper's reference [10] splits PETSc-FUN3D's two dominant phases by
+their bottleneck: the sparse linear algebra runs at the STREAM
+bandwidth limit, while the *flux computation* is bounded by
+instruction scheduling — how many of its operations the processor can
+issue per cycle — because its arithmetic intensity is high enough to
+escape the memory wall.  That asymmetry is what justifies Table 5's
+hybrid threading of the flux phase only.
+
+The model: a kernel with ``flops``, ``mem_ops`` (loads+stores), and
+``other_ops`` (integer/branch/address) executes in at least
+
+    cycles >= max(flops / fpu_per_cycle,
+                  mem_ops / ldst_per_cycle,
+                  (flops + mem_ops + other_ops) / issue_width)
+
+cycles — the classic multi-port issue bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.machines import MachineSpec
+
+__all__ = ["KernelOpMix", "flux_op_mix", "spmv_op_mix",
+           "instruction_bound_time", "phase_bottleneck"]
+
+
+@dataclass(frozen=True)
+class KernelOpMix:
+    """Operation mix of one kernel invocation.
+
+    ``mem_ops`` counts *issued* loads/stores (the instruction-issue
+    resource); ``compulsory_bytes`` counts unique data moved from
+    memory (the bandwidth resource).  For the flux kernel the two
+    differ enormously — each vertex's state is issued ~14 times (once
+    per incident edge) but moved once — which is exactly why flux is
+    issue-bound while SpMV, whose matrix streams with no reuse, is
+    bandwidth-bound.
+    """
+
+    flops: float
+    mem_ops: float
+    other_ops: float
+    compulsory_bytes: float = 0.0
+
+    @property
+    def total_ops(self) -> float:
+        return self.flops + self.mem_ops + self.other_ops
+
+    def intensity(self) -> float:
+        """Flops per compulsory byte (the roofline x-coordinate)."""
+        return self.flops / max(self.compulsory_bytes, 1e-30)
+
+
+def flux_op_mix(num_edges: int, ncomp: int, second_order: bool = True,
+                num_vertices: int | None = None) -> KernelOpMix:
+    """Operation mix of the edge-loop flux kernel (per evaluation).
+
+    Counts follow the Rusanov + MUSCL implementation: per edge, the
+    flux pair, dissipation, wavespeeds, and (second order) the
+    reconstruction arithmetic; issued memory ops are the stencil's
+    loads/stores; compulsory traffic counts each vertex array once
+    (the reuse the caches deliver after the Table 1 layout tuning).
+    """
+    if num_vertices is None:
+        num_vertices = max(num_edges // 7, 1)   # tet-mesh degree ~14
+    flops_per_edge = 14 + 14 * ncomp + (11 * ncomp if second_order else 0)
+    mem_per_edge = 2 + 3 + 3 * 2 * ncomp \
+        + ((6 + 6 * ncomp) if second_order else 0)
+    other_per_edge = 8 + ncomp
+    per_edge_bytes = 2 * 4 + 3 * 8                # endpoints + normal
+    per_vertex_words = 3 * ncomp + ((3 + 3 * ncomp) if second_order else 0)
+    compulsory = (num_edges * per_edge_bytes
+                  + num_vertices * per_vertex_words * 8)
+    return KernelOpMix(flops=num_edges * flops_per_edge,
+                       mem_ops=num_edges * mem_per_edge,
+                       other_ops=num_edges * other_per_edge,
+                       compulsory_bytes=compulsory)
+
+
+def spmv_op_mix(nnz_scalar: float, nrows: int, block_size: int = 1
+                ) -> KernelOpMix:
+    """Operation mix of one SpMV (CSR or BSR)."""
+    nblocks = nnz_scalar / (block_size * block_size)
+    return KernelOpMix(
+        flops=2 * nnz_scalar,
+        mem_ops=nnz_scalar + nblocks + 2 * nrows,   # values, x, y
+        other_ops=nblocks + nrows,                  # indices, loop
+        # Matrix values/indices stream once; x and y move once each.
+        compulsory_bytes=nnz_scalar * 8 + nblocks * 4 + 3 * nrows * 8,
+    )
+
+
+def instruction_bound_time(mix: KernelOpMix, machine: MachineSpec, *,
+                           ldst_per_cycle: float = 1.0,
+                           issue_width: float = 4.0) -> float:
+    """Issue-bound execution time of the kernel on ``machine``."""
+    cycles = max(mix.flops / machine.flops_per_cycle,
+                 mix.mem_ops / ldst_per_cycle,
+                 mix.total_ops / issue_width)
+    return cycles * machine.cycle_time
+
+
+def phase_bottleneck(mix: KernelOpMix, machine: MachineSpec,
+                     traffic_bytes: float, *,
+                     ldst_per_cycle: float = 1.0,
+                     issue_width: float = 4.0) -> str:
+    """Classify a kernel as 'instruction-issue' or 'memory-bandwidth'
+    bound on ``machine`` — the paper's central dichotomy."""
+    t_issue = instruction_bound_time(mix, machine,
+                                     ldst_per_cycle=ldst_per_cycle,
+                                     issue_width=issue_width)
+    t_bw = traffic_bytes / machine.stream_bw
+    return "memory-bandwidth" if t_bw > t_issue else "instruction-issue"

@@ -1,0 +1,38 @@
+"""Roofline view of the memory-centric analysis.
+
+The paper's memory-centric argument is the ancestor of the roofline
+model: a kernel with arithmetic intensity I (flops/byte) on a machine
+with peak F and bandwidth B attains at most ``min(F, I * B)``.  SpMV's
+I of ~0.15 flops/byte puts it deep in the bandwidth-bound regime of
+every 1999 machine, which is why Tables 1-2's layout and precision
+tricks (which raise I) pay off directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.machines import MachineSpec
+
+__all__ = ["roofline_performance", "roofline_curve", "ridge_intensity"]
+
+
+def roofline_performance(intensity: float, machine: MachineSpec) -> float:
+    """Attainable flops/s at the given arithmetic intensity."""
+    if intensity < 0:
+        raise ValueError("intensity must be nonnegative")
+    return min(machine.peak_flops, intensity * machine.stream_bw)
+
+
+def ridge_intensity(machine: MachineSpec) -> float:
+    """Intensity where the machine turns compute-bound (the ridge)."""
+    return machine.peak_flops / machine.stream_bw
+
+
+def roofline_curve(machine: MachineSpec, intensities: np.ndarray | None = None
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """(intensity, attainable flops/s) samples for plotting/reporting."""
+    if intensities is None:
+        intensities = np.logspace(-2, 2, 41)
+    perf = np.minimum(machine.peak_flops, intensities * machine.stream_bw)
+    return intensities, perf

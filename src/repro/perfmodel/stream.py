@@ -1,0 +1,59 @@
+"""STREAM-style sustainable-bandwidth measurement and models.
+
+The paper uses McCalpin's STREAM benchmark as the definition of a
+machine's achievable memory bandwidth; the linear-algebra phases of
+PETSc-FUN3D run at essentially that limit.  ``measure_stream_triad``
+measures the *host* machine (numpy's ``a = b + s*c`` is exactly the
+triad kernel); the model functions convert traffic to time for any
+:class:`~repro.perfmodel.machines.MachineSpec`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["measure_stream_triad", "stream_time", "StreamResult"]
+
+
+class StreamResult(dict):
+    """Measured bandwidths in bytes/s, keyed by kernel name."""
+
+    @property
+    def triad(self) -> float:
+        return self["triad"]
+
+
+def measure_stream_triad(n: int = 4_000_000, repeats: int = 5) -> StreamResult:
+    """Measure copy/scale/add/triad bandwidth of this host with numpy.
+
+    Traffic accounting follows STREAM's convention (no write-allocate
+    term): copy/scale move 2 words per element, add/triad move 3.
+    """
+    a = np.zeros(n)
+    b = np.random.default_rng(0).random(n)
+    c = np.random.default_rng(1).random(n)
+    s = 3.0
+    results = {}
+
+    def run(name: str, words: int, fn) -> None:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        results[name] = words * 8 * n / best
+
+    run("copy", 2, lambda: np.copyto(a, b))
+    run("scale", 2, lambda: np.multiply(b, s, out=a))
+    run("add", 3, lambda: np.add(b, c, out=a))
+    run("triad", 3, lambda: np.add(b, s * c, out=a))
+    return StreamResult(results)
+
+
+def stream_time(traffic_bytes: float, stream_bw: float) -> float:
+    """Time for a bandwidth-bound phase: traffic / sustainable BW."""
+    if stream_bw <= 0:
+        raise ValueError("bandwidth must be positive")
+    return traffic_bytes / stream_bw

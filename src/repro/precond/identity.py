@@ -1,0 +1,17 @@
+"""Identity preconditioner (no preconditioning)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IdentityPC"]
+
+
+class IdentityPC:
+    """M^{-1} = I; the unpreconditioned baseline."""
+
+    def setup(self, a) -> "IdentityPC":
+        return self
+
+    def solve(self, r: np.ndarray) -> np.ndarray:
+        return np.array(r, copy=True)

@@ -1,0 +1,31 @@
+"""Nonlinear and linear solvers: the NKS ("Newton-Krylov-Schwarz") stack.
+
+* :mod:`repro.solvers.gmres` — restarted GMRES with selectable
+  orthogonalisation, right preconditioning (so residual norms are true
+  residuals), and full iteration accounting.
+* :mod:`repro.solvers.newton` — inexact Newton with backtracking line
+  search (Dembo-Eisenstat-Steihaug forcing).
+* :mod:`repro.solvers.ptc` — pseudo-transient continuation with the
+  switched evolution/relaxation (SER) CFL law of Van Leer & Mulder,
+  the power-law form tuned in the paper's Sec. 2.4.1.
+"""
+
+from repro.solvers.krylov_base import LinearOperator, as_operator, OperatorFromMatrix
+from repro.solvers.gmres import gmres, GMRESResult, Orthogonalization
+from repro.solvers.fgmres import fgmres
+from repro.solvers.newton import newton_solve, NewtonResult
+from repro.solvers.ptc import SERController, PTCConfig
+
+__all__ = [
+    "LinearOperator",
+    "as_operator",
+    "OperatorFromMatrix",
+    "gmres",
+    "fgmres",
+    "GMRESResult",
+    "Orthogonalization",
+    "newton_solve",
+    "NewtonResult",
+    "SERController",
+    "PTCConfig",
+]

@@ -1,0 +1,132 @@
+"""Flexible GMRES (FGMRES).
+
+Right-preconditioned GMRES that stores the preconditioned vectors
+``Z_k = M_k^{-1} V_k`` explicitly, so the preconditioner may change
+between iterations — the price is one extra stored vector per
+iteration.  This is the standard tool when the subdomain solves are
+themselves iterative (inexact Schwarz), one of the "quality of
+subdomain solver: number of sweeps" knobs in the paper's Sec. 2.4
+parameter list.  For a fixed (linear) preconditioner it reproduces
+plain right-preconditioned GMRES.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.gmres import GMRESResult, Orthogonalization, _back_substitute
+from repro.solvers.krylov_base import as_operator
+
+__all__ = ["fgmres"]
+
+
+class _IdentityPC:
+    def solve(self, r: np.ndarray) -> np.ndarray:
+        return r
+
+
+def fgmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
+           rtol: float = 1e-5, atol: float = 1e-50, restart: int = 20,
+           maxiter: int = 200,
+           orthog: Orthogonalization | str = Orthogonalization.MGS
+           ) -> GMRESResult:
+    """Solve ``a x = b`` with flexible restarted GMRES.
+
+    Same interface as :func:`repro.solvers.gmres.gmres`; ``M.solve``
+    may be a *different* operator on every call (e.g. an inner Krylov
+    iteration).
+    """
+    op = as_operator(a, n=b.size)
+    pc = M if M is not None else _IdentityPC()
+    orthog = Orthogonalization(orthog)
+    n = b.size
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+
+    bnorm = float(np.linalg.norm(b))
+    target = max(rtol * bnorm, atol)
+    matvecs = 0
+    pc_applies = 0
+    resnorms: list[float] = []
+    total_its = 0
+    restarts = 0
+
+    while True:
+        r = b - op.matvec(x)
+        matvecs += 1
+        beta = float(np.linalg.norm(r))
+        if not resnorms:
+            resnorms.append(beta)
+        if beta <= target or total_its >= maxiter:
+            return GMRESResult(x=x, converged=beta <= target,
+                               iterations=total_its, restarts=restarts,
+                               residual_norms=resnorms, matvecs=matvecs,
+                               precond_applies=pc_applies)
+
+        m = min(restart, maxiter - total_its)
+        V = np.zeros((m + 1, n))
+        Z = np.zeros((m, n))
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        V[0] = r / beta
+        g[0] = beta
+        k_done = 0
+        breakdown = False
+
+        for k in range(m):
+            Z[k] = pc.solve(V[k])
+            pc_applies += 1
+            w = op.matvec(Z[k])
+            matvecs += 1
+            if orthog is Orthogonalization.MGS:
+                for j in range(k + 1):
+                    H[j, k] = float(V[j] @ w)
+                    w -= H[j, k] * V[j]
+            else:
+                h = V[: k + 1] @ w
+                w = w - V[: k + 1].T @ h
+                h2 = V[: k + 1] @ w
+                w = w - V[: k + 1].T @ h2
+                H[: k + 1, k] = h + h2
+            hnext = float(np.linalg.norm(w))
+            H[k + 1, k] = hnext
+            for j in range(k):
+                t = cs[j] * H[j, k] + sn[j] * H[j + 1, k]
+                H[j + 1, k] = -sn[j] * H[j, k] + cs[j] * H[j + 1, k]
+                H[j, k] = t
+            denom = float(np.hypot(H[k, k], H[k + 1, k]))
+            if denom == 0.0:
+                breakdown = True
+                k_done = k + 1
+                break
+            cs[k] = H[k, k] / denom
+            sn[k] = H[k + 1, k] / denom
+            H[k, k] = denom
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            total_its += 1
+            k_done = k + 1
+            resnorms.append(abs(float(g[k + 1])))
+            if hnext <= 1e-14 * beta:
+                breakdown = True
+                break
+            V[k + 1] = w / hnext
+            if abs(g[k + 1]) <= target:
+                break
+
+        if k_done > 0:
+            y = _back_substitute(H, g, k_done)
+            # Flexibility: x += Z y (the stored preconditioned basis).
+            x = x + Z[:k_done].T @ y
+        restarts += 1
+        if breakdown:
+            r = b - op.matvec(x)
+            matvecs += 1
+            beta = float(np.linalg.norm(r))
+            resnorms.append(beta)
+            return GMRESResult(x=x, converged=beta <= target,
+                               iterations=total_its, restarts=restarts,
+                               residual_norms=resnorms, matvecs=matvecs,
+                               precond_applies=pc_applies)

@@ -1,0 +1,51 @@
+"""From-scratch sparse linear algebra substrate.
+
+This package reimplements, in numpy, the pieces of PETSc that
+PETSc-FUN3D exercises: point CSR (AIJ) and block CSR (BAIJ) matrices,
+the sparse matrix-vector product in several kernel flavours, ILU(k)
+incomplete factorisation (scalar and block), level-scheduled sparse
+triangular solves, and reduced-precision factor storage (the paper's
+Table 2 memory-bandwidth optimisation).
+
+scipy.sparse appears only in the test suite as an oracle.
+"""
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.bsr import BSRMatrix
+from repro.sparse.layouts import (
+    BlockStructure,
+    block_structure_from_edges,
+    assemble_bsr,
+    interlaced_csr_from_bsr,
+    field_split_csr_from_bsr,
+)
+from repro.sparse.spmv import (
+    spmv_csr_numpy,
+    spmv_csr_loop,
+    spmv_bsr_numpy,
+    spmv_cost,
+)
+from repro.sparse.ilu import ilu_symbolic, ILUFactorCSR, ILUFactorBSR, ilu_csr, ilu_bsr
+from repro.sparse.trisolve import level_schedule
+from repro.sparse.precision import StoragePrecision
+
+__all__ = [
+    "CSRMatrix",
+    "BSRMatrix",
+    "BlockStructure",
+    "block_structure_from_edges",
+    "assemble_bsr",
+    "interlaced_csr_from_bsr",
+    "field_split_csr_from_bsr",
+    "spmv_csr_numpy",
+    "spmv_csr_loop",
+    "spmv_bsr_numpy",
+    "spmv_cost",
+    "ilu_symbolic",
+    "ilu_csr",
+    "ilu_bsr",
+    "ILUFactorCSR",
+    "ILUFactorBSR",
+    "level_schedule",
+    "StoragePrecision",
+]

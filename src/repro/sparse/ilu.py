@@ -1,0 +1,336 @@
+"""ILU(k) incomplete factorisation, scalar (AIJ) and block (BAIJ).
+
+This is the subdomain solver of the paper's Schwarz preconditioner
+(Table 4 sweeps the fill level k from 0 to 2).  The symbolic phase
+computes the level-of-fill pattern once per sparsity; the numeric
+phase refactors on that fixed pattern each time the Jacobian is
+refreshed — exactly PETSc's split.
+
+Level-of-fill rule: original entries have level 0; a fill entry
+created by eliminating column k in row i via u_kj gets level
+``lev(i,k) + lev(k,j) + 1`` and is kept iff its level <= k_fill.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.bsr import BSRMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.trisolve import (
+    level_schedule,
+    lower_solve_blocks,
+    lower_solve_csr,
+    upper_solve_blocks,
+    upper_solve_csr,
+)
+
+__all__ = ["ILUPattern", "ilu_symbolic", "ILUFactorCSR", "ILUFactorBSR",
+           "ilu_csr", "ilu_bsr"]
+
+
+@dataclass
+class ILUPattern:
+    """Fill pattern of an ILU(k) factorisation, split into the strictly
+    lower (L) and strictly upper (U) parts; the diagonal is implicit.
+
+    ``l_levels``/``u_levels`` carry the level of fill of each entry
+    (0 = original), retained for diagnostics and ablation benches.
+    """
+
+    n: int
+    fill_level: int
+    l_indptr: np.ndarray
+    l_indices: np.ndarray
+    l_levels: np.ndarray
+    u_indptr: np.ndarray
+    u_indices: np.ndarray
+    u_levels: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Total stored entries including the diagonal."""
+        return int(self.l_indices.size + self.u_indices.size + self.n)
+
+    def fill_ratio(self, original_nnz: int) -> float:
+        return self.nnz / max(original_nnz, 1)
+
+
+def ilu_symbolic(indptr: np.ndarray, indices: np.ndarray,
+                 fill_level: int) -> ILUPattern:
+    """Symbolic ILU(k) on a square sparsity pattern.
+
+    The pattern must contain the full diagonal (standard for PDE
+    Jacobians); if a diagonal entry is structurally missing it is
+    inserted at level 0, matching PETSc's shift-free behaviour.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    n = indptr.size - 1
+    # Factored upper rows: u_cols[k] is a sorted int array (cols > k),
+    # u_levs[k] the matching levels.
+    u_cols: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+    u_levs: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+    l_rows_cols: list[np.ndarray] = []
+    l_rows_levs: list[np.ndarray] = []
+
+    for i in range(n):
+        row = indices[indptr[i] : indptr[i + 1]]
+        lev: dict[int, int] = {int(j): 0 for j in row}
+        lev[i] = 0  # ensure diagonal
+        heap = [j for j in lev if j < i]
+        heapq.heapify(heap)
+        popped: set[int] = set()
+        while heap:
+            k = heapq.heappop(heap)
+            if k in popped:
+                continue
+            popped.add(k)
+            lev_ik = lev[k]
+            cols_k = u_cols[k]
+            levs_k = u_levs[k]
+            for t in range(cols_k.size):
+                j = int(cols_k[t])
+                new_lev = lev_ik + int(levs_k[t]) + 1
+                if j in lev:
+                    if new_lev < lev[j]:
+                        lev[j] = new_lev
+                elif new_lev <= fill_level:
+                    lev[j] = new_lev
+                    if j < i:
+                        heapq.heappush(heap, j)
+        cols = np.array(sorted(lev), dtype=np.int64)
+        levels = np.array([lev[int(c)] for c in cols], dtype=np.int64)
+        lower = cols < i
+        upper = cols > i
+        l_rows_cols.append(cols[lower])
+        l_rows_levs.append(levels[lower])
+        u_cols[i] = cols[upper]
+        u_levs[i] = levels[upper]
+
+    def _pack(rows_cols, rows_levs):
+        counts = np.array([c.size for c in rows_cols], dtype=np.int64)
+        iptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=iptr[1:])
+        cat_c = (np.concatenate(rows_cols) if iptr[-1]
+                 else np.empty(0, dtype=np.int64))
+        cat_l = (np.concatenate(rows_levs) if iptr[-1]
+                 else np.empty(0, dtype=np.int64))
+        return iptr, cat_c, cat_l
+
+    l_iptr, l_idx, l_lev = _pack(l_rows_cols, l_rows_levs)
+    u_iptr, u_idx, u_lev = _pack(u_cols, u_levs)
+    return ILUPattern(n=n, fill_level=fill_level,
+                      l_indptr=l_iptr, l_indices=l_idx, l_levels=l_lev,
+                      u_indptr=u_iptr, u_indices=u_idx, u_levels=u_lev)
+
+
+# ----------------------------------------------------------------------
+# Scalar numeric factorisation
+# ----------------------------------------------------------------------
+
+@dataclass
+class ILUFactorCSR:
+    """Numeric scalar ILU factor L U ~= A with unit-diagonal L.
+
+    ``storage_dtype`` implements the paper's Table 2 optimisation: the
+    factors may be *stored* in float32 while all arithmetic stays in
+    float64 (values are widened on load), halving the memory traffic of
+    the triangular solves.
+    """
+
+    pattern: ILUPattern
+    l_data: np.ndarray
+    u_data: np.ndarray
+    inv_diag: np.ndarray
+    l_levels_sched: list[np.ndarray]
+    u_levels_sched: list[np.ndarray]
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        return self.l_data.dtype
+
+    @property
+    def factor_bytes(self) -> int:
+        """Bytes of stored factor values (the Table 2 traffic knob)."""
+        item = self.l_data.dtype.itemsize
+        return (self.l_data.size + self.u_data.size + self.inv_diag.size) * item
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """x = U^{-1} L^{-1} b, computed in float64."""
+        p = self.pattern
+        y = lower_solve_csr(p.l_indptr, p.l_indices, self.l_data, b,
+                            self.l_levels_sched)
+        return upper_solve_csr(p.u_indptr, p.u_indices, self.u_data,
+                               self.inv_diag, y, self.u_levels_sched)
+
+    def astype_storage(self, dtype) -> "ILUFactorCSR":
+        return ILUFactorCSR(pattern=self.pattern,
+                            l_data=self.l_data.astype(dtype),
+                            u_data=self.u_data.astype(dtype),
+                            inv_diag=self.inv_diag.astype(dtype),
+                            l_levels_sched=self.l_levels_sched,
+                            u_levels_sched=self.u_levels_sched)
+
+
+def ilu_csr(a: CSRMatrix, fill_level: int = 0,
+            pattern: ILUPattern | None = None,
+            storage_dtype=np.float64) -> ILUFactorCSR:
+    """Numeric ILU(k) of a scalar CSR matrix (IKJ variant)."""
+    if pattern is None:
+        pattern = ilu_symbolic(a.indptr, a.indices, fill_level)
+    n = pattern.n
+    l_data = np.zeros(pattern.l_indices.size)
+    u_data = np.zeros(pattern.u_indices.size)
+    diag = np.zeros(n)
+    # Position map col -> slot in the current working row.
+    pos = np.full(n, -1, dtype=np.int64)
+    for i in range(n):
+        ls, le = pattern.l_indptr[i], pattern.l_indptr[i + 1]
+        us, ue = pattern.u_indptr[i], pattern.u_indptr[i + 1]
+        lcols = pattern.l_indices[ls:le]
+        ucols = pattern.u_indices[us:ue]
+        nl = lcols.size
+        w = np.zeros(nl + 1 + ucols.size)
+        pos[lcols] = np.arange(nl)
+        pos[i] = nl
+        pos[ucols] = nl + 1 + np.arange(ucols.size)
+        # Scatter A's row i.
+        acols, avals = a.row(i)
+        slots = pos[acols]
+        ok = slots >= 0
+        w[slots[ok]] += avals[ok]
+        # Eliminate, in ascending k (lcols is sorted).
+        for t in range(nl):
+            k = int(lcols[t])
+            l_ik = w[t] / diag[k]
+            w[t] = l_ik
+            ks, ke = pattern.u_indptr[k], pattern.u_indptr[k + 1]
+            kcols = pattern.u_indices[ks:ke]
+            kslots = pos[kcols]
+            hit = kslots >= 0
+            w[kslots[hit]] -= l_ik * u_data[ks:ke][hit]
+        d = w[nl]
+        if d == 0.0:
+            raise ZeroDivisionError(f"zero pivot in ILU at row {i}")
+        diag[i] = d
+        l_data[ls:le] = w[:nl]
+        u_data[us:ue] = w[nl + 1:]
+        pos[lcols] = -1
+        pos[i] = -1
+        pos[ucols] = -1
+    factor = ILUFactorCSR(
+        pattern=pattern,
+        l_data=l_data,
+        u_data=u_data,
+        inv_diag=1.0 / diag,
+        l_levels_sched=level_schedule(pattern.l_indptr, pattern.l_indices),
+        u_levels_sched=level_schedule(pattern.u_indptr, pattern.u_indices,
+                                      reverse=True),
+    )
+    if np.dtype(storage_dtype) != np.float64:
+        factor = factor.astype_storage(storage_dtype)
+    return factor
+
+
+# ----------------------------------------------------------------------
+# Block numeric factorisation
+# ----------------------------------------------------------------------
+
+@dataclass
+class ILUFactorBSR:
+    """Numeric block ILU factor; the structural-blocking analogue of
+    :class:`ILUFactorCSR` (blocks are eliminated as units with dense
+    block inverses, PETSc BAIJ-style)."""
+
+    pattern: ILUPattern
+    bs: int
+    l_data: np.ndarray          # (nnzl, bs, bs)
+    u_data: np.ndarray          # (nnzu, bs, bs)
+    inv_diag: np.ndarray        # (n, bs, bs)
+    l_levels_sched: list[np.ndarray]
+    u_levels_sched: list[np.ndarray]
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        return self.l_data.dtype
+
+    @property
+    def factor_bytes(self) -> int:
+        item = self.l_data.dtype.itemsize
+        return (self.l_data.size + self.u_data.size + self.inv_diag.size) * item
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        p = self.pattern
+        y = lower_solve_blocks(p.l_indptr, p.l_indices, self.l_data, b,
+                               self.l_levels_sched, self.bs)
+        return upper_solve_blocks(p.u_indptr, p.u_indices, self.u_data,
+                                  self.inv_diag, y, self.u_levels_sched,
+                                  self.bs)
+
+    def astype_storage(self, dtype) -> "ILUFactorBSR":
+        return ILUFactorBSR(pattern=self.pattern, bs=self.bs,
+                            l_data=self.l_data.astype(dtype),
+                            u_data=self.u_data.astype(dtype),
+                            inv_diag=self.inv_diag.astype(dtype),
+                            l_levels_sched=self.l_levels_sched,
+                            u_levels_sched=self.u_levels_sched)
+
+
+def ilu_bsr(a: BSRMatrix, fill_level: int = 0,
+            pattern: ILUPattern | None = None,
+            storage_dtype=np.float64) -> ILUFactorBSR:
+    """Numeric block ILU(k) of a BSR matrix."""
+    if pattern is None:
+        pattern = ilu_symbolic(a.indptr, a.indices, fill_level)
+    n = pattern.n
+    bs = a.bs
+    l_data = np.zeros((pattern.l_indices.size, bs, bs))
+    u_data = np.zeros((pattern.u_indices.size, bs, bs))
+    inv_diag = np.zeros((n, bs, bs))
+    pos = np.full(n, -1, dtype=np.int64)
+    for i in range(n):
+        ls, le = pattern.l_indptr[i], pattern.l_indptr[i + 1]
+        us, ue = pattern.u_indptr[i], pattern.u_indptr[i + 1]
+        lcols = pattern.l_indices[ls:le]
+        ucols = pattern.u_indices[us:ue]
+        nl = lcols.size
+        w = np.zeros((nl + 1 + ucols.size, bs, bs))
+        pos[lcols] = np.arange(nl)
+        pos[i] = nl
+        pos[ucols] = nl + 1 + np.arange(ucols.size)
+        s, e = a.indptr[i], a.indptr[i + 1]
+        acols = a.indices[s:e]
+        slots = pos[acols]
+        ok = slots >= 0
+        w[slots[ok]] += a.data[s:e][ok]
+        for t in range(nl):
+            k = int(lcols[t])
+            l_ik = w[t] @ inv_diag[k]
+            w[t] = l_ik
+            ks, ke = pattern.u_indptr[k], pattern.u_indptr[k + 1]
+            kcols = pattern.u_indices[ks:ke]
+            kslots = pos[kcols]
+            hit = kslots >= 0
+            if hit.any():
+                w[kslots[hit]] -= np.einsum("ij,kjl->kil", l_ik,
+                                            u_data[ks:ke][hit])
+        inv_diag[i] = np.linalg.inv(w[nl])
+        l_data[ls:le] = w[:nl]
+        u_data[us:ue] = w[nl + 1:]
+        pos[lcols] = -1
+        pos[i] = -1
+        pos[ucols] = -1
+    factor = ILUFactorBSR(
+        pattern=pattern, bs=bs,
+        l_data=l_data, u_data=u_data, inv_diag=inv_diag,
+        l_levels_sched=level_schedule(pattern.l_indptr, pattern.l_indices),
+        u_levels_sched=level_schedule(pattern.u_indptr, pattern.u_indices,
+                                      reverse=True),
+    )
+    if np.dtype(storage_dtype) != np.float64:
+        factor = factor.astype_storage(storage_dtype)
+    return factor

@@ -1,0 +1,39 @@
+"""The `python -m repro.experiments` command-line runner."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_listing(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_registry_complete(self):
+        """Every paper table/figure has a CLI entry."""
+        expected = {"table1", "table2", "table3", "table4", "table5",
+                    "fig1", "fig2", "fig3", "fig4", "fig5", "eqbounds"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_run_one(self, capsys):
+        assert main(["eqbounds"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 1/2" in out
+        assert "[eqbounds:" in out
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_module_invocation(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments"],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0
+        assert "table3" in proc.stdout

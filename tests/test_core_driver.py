@@ -1,0 +1,162 @@
+"""Integration tests: the full ΨNKS solve loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import NKSSolver, SolverConfig
+from repro.core.config import KrylovConfig, PreconditionerConfig
+from repro.euler import duct_problem, wing_problem
+from repro.solvers.ptc import PTCConfig
+
+
+@pytest.fixture(scope="module")
+def wing():
+    return wing_problem(7, 5, 4)
+
+
+def _solve(prob, **kw):
+    defaults = dict(ptc=PTCConfig(cfl0=10.0), max_steps=30,
+                    target_reduction=1e-6, matrix_free=True)
+    defaults.update(kw)
+    cfg = SolverConfig(**defaults)
+    return NKSSolver(prob.disc, cfg).solve(prob.initial.flat())
+
+
+class TestConvergence:
+    def test_incompressible_wing_converges(self, wing):
+        rep = _solve(wing)
+        assert rep.converged
+        assert rep.final_reduction <= 1e-6
+        assert rep.num_steps < 25
+
+    def test_compressible_wing_converges(self):
+        prob = wing_problem(6, 4, 4, compressible=True, mach=0.4)
+        rep = _solve(prob, ptc=PTCConfig(cfl0=5.0), target_reduction=1e-5,
+                     max_steps=40)
+        assert rep.converged
+
+    def test_duct_trivially_converged(self):
+        prob = duct_problem(4)
+        rep = _solve(prob)
+        # Freestream is the exact solution: one step, zero work.
+        assert rep.converged
+        assert rep.num_steps == 1
+        assert rep.total_linear_iterations == 0
+
+    def test_converged_state_has_zero_residual(self, wing):
+        rep = _solve(wing, target_reduction=1e-8)
+        r = wing.disc.residual(rep.final_state)
+        assert np.linalg.norm(r) <= 1e-8 * rep.fnorm0 * 1.01
+
+    def test_assembled_operator_mode(self, wing):
+        """Defect-correction mode (assembled 1st-order J for the
+        operator) converges too, just more slowly per step."""
+        rep = _solve(wing, matrix_free=False, max_steps=60,
+                     target_reduction=1e-5)
+        assert rep.converged
+
+    def test_wall_produces_lift_like_pressure(self, wing):
+        """Physical sanity: after convergence the wall pressure differs
+        from freestream (the wing patch disturbs the flow)."""
+        rep = _solve(wing)
+        q = rep.final_state.reshape(-1, 4)
+        bc = wing.disc.bc
+        wall_p = q[bc.vertices[bc.wall_mask], 0]
+        assert np.abs(wall_p).max() > 1e-3
+
+
+class TestDiagnostics:
+    def test_residual_history_monotone_ish(self, wing):
+        rep = _solve(wing)
+        r = rep.residual_history
+        # PTC allows transient bumps; demand overall decrease and no
+        # more than one local increase.
+        assert r[-1] < r[0]
+        assert int((np.diff(r) > 0).sum()) <= 1
+
+    def test_cfl_history_grows(self, wing):
+        rep = _solve(wing)
+        cfl = rep.cfl_history
+        assert cfl[0] == pytest.approx(10.0)
+        assert cfl[-1] > cfl[0]
+
+    def test_phase_times_recorded(self, wing):
+        rep = _solve(wing)
+        times = rep.phase_times()
+        assert times["flux"] > 0
+        assert times["pc_setup"] > 0
+        assert rep.time_per_step > 0
+
+    def test_higher_initial_cfl_fewer_steps(self, wing):
+        """Fig. 5's effect: for smooth flows, a larger initial CFL
+        converges in fewer pseudo-timesteps."""
+        slow = _solve(wing, ptc=PTCConfig(cfl0=1.0), max_steps=60)
+        fast = _solve(wing, ptc=PTCConfig(cfl0=50.0), max_steps=60)
+        assert fast.converged
+        assert fast.num_steps < slow.num_steps
+
+
+class TestPreconditionerKnobs:
+    def test_multidomain_converges(self, wing):
+        rep = _solve(wing, precond=PreconditionerConfig(nparts=4,
+                                                        fill_level=0))
+        assert rep.converged
+
+    def test_more_subdomains_more_linear_its(self, wing):
+        its = {}
+        for p in (1, 8):
+            rep = _solve(wing, precond=PreconditionerConfig(
+                nparts=p, fill_level=0), max_steps=25)
+            assert rep.converged
+            its[p] = rep.total_linear_iterations
+        assert its[8] >= its[1]
+
+    def test_fp32_preconditioner_same_convergence(self, wing):
+        r64 = _solve(wing, precond=PreconditionerConfig(
+            nparts=4, fill_level=1, precision="double"))
+        r32 = _solve(wing, precond=PreconditionerConfig(
+            nparts=4, fill_level=1, precision="single"))
+        assert r32.converged
+        assert abs(r32.num_steps - r64.num_steps) <= 1
+        assert (abs(r32.total_linear_iterations
+                    - r64.total_linear_iterations)
+                <= 0.15 * r64.total_linear_iterations + 2)
+
+    def test_jacobian_lag(self, wing):
+        rep = _solve(wing, jacobian_lag=3)
+        assert rep.converged
+        # Lagged refresh: pc_setup happened on fewer steps.
+        setups = sum(1 for s in rep.steps if s.time_pcsetup > 0)
+        assert setups <= (rep.num_steps + 2) // 3 + 1
+
+    def test_given_partition(self, wing):
+        labels = np.zeros(wing.mesh.num_vertices, dtype=np.int64)
+        labels[wing.mesh.num_vertices // 2:] = 1
+        rep = _solve(wing, precond=PreconditionerConfig(
+            nparts=2, partitioner="given", labels=labels))
+        assert rep.converged
+
+    def test_unknown_partitioner_raises(self, wing):
+        with pytest.raises(ValueError):
+            NKSSolver(wing.disc, SolverConfig(
+                precond=PreconditionerConfig(nparts=2,
+                                             partitioner="magic")))
+
+
+class TestConfigValidation:
+    def test_bad_max_steps(self):
+        with pytest.raises(ValueError):
+            SolverConfig(max_steps=0)
+
+    def test_bad_reduction(self):
+        with pytest.raises(ValueError):
+            SolverConfig(target_reduction=0.0)
+
+    def test_bad_lag(self):
+        with pytest.raises(ValueError):
+            SolverConfig(jacobian_lag=0)
+
+    def test_krylov_enum_coercion(self):
+        cfg = KrylovConfig(orthogonalization="cgs")
+        from repro.solvers.gmres import Orthogonalization
+        assert cfg.orthogonalization is Orthogonalization.CGS

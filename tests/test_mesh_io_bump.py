@@ -1,0 +1,131 @@
+"""Mesh serialisation and the transonic bump geometry."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (bump_mesh, compute_dual_metrics, load_mesh,
+                        save_mesh, unit_cube_mesh, wing_mesh)
+
+
+class TestMeshIO:
+    def test_roundtrip_exact(self, tmp_path, small_mesh):
+        p = save_mesh(small_mesh, tmp_path / "m")
+        m2 = load_mesh(p)
+        assert np.array_equal(m2.coords, small_mesh.coords)
+        assert np.array_equal(m2.tets, small_mesh.tets)
+        assert np.array_equal(m2.edges, small_mesh.edges)
+        assert m2.name == small_mesh.name
+
+    def test_suffix_appended(self, tmp_path):
+        m = unit_cube_mesh(3)
+        p = save_mesh(m, tmp_path / "noext")
+        assert p.suffix == ".npz"
+
+    def test_reordered_mesh_roundtrip(self, tmp_path):
+        from repro.mesh import apply_orderings, shuffle_vertices
+        m = apply_orderings(shuffle_vertices(unit_cube_mesh(4), 1),
+                            "rcm", "sorted")
+        m2 = load_mesh(save_mesh(m, tmp_path / "r"))
+        assert np.array_equal(m2.edges, m.edges)  # edge order preserved
+
+    def test_future_version_rejected(self, tmp_path):
+        m = unit_cube_mesh(3)
+        p = save_mesh(m, tmp_path / "v")
+        data = dict(np.load(p, allow_pickle=False))
+        data["format_version"] = np.int64(99)
+        np.savez_compressed(p, **data)
+        with pytest.raises(ValueError):
+            load_mesh(p)
+
+    def test_loaded_mesh_usable(self, tmp_path, small_mesh):
+        m2 = load_mesh(save_mesh(small_mesh, tmp_path / "u"))
+        dm = compute_dual_metrics(m2)
+        assert dm.closure_defect(m2.edges).max() < 1e-11
+
+
+class TestBumpMesh:
+    def test_valid(self):
+        m = bump_mesh(11, 4, 6)
+        assert np.all(m.tet_volumes() > 0)
+        dm = compute_dual_metrics(m)
+        assert dm.closure_defect(m.edges).max() < 1e-11
+
+    def test_bump_raises_floor(self):
+        m = bump_mesh(17, 4, 6, height=0.1, jitter=0.0)
+        floor = m.coords[np.abs(m.coords[:, 2]) < 0.2]
+        # Mid-channel floor points sit above z=0; entrance/exit at z=0.
+        mid = floor[np.abs(floor[:, 0] - 0.5) < 0.1]
+        ends = floor[floor[:, 0] < 0.2]
+        assert mid[:, 2].max() > 0.05
+        assert np.all(np.abs(ends[:, 2]) < 1e-12)
+
+    def test_volume_reduced_by_bump(self):
+        flat = bump_mesh(11, 4, 6, height=0.0, jitter=0.0)
+        bumped = bump_mesh(11, 4, 6, height=0.15, jitter=0.0)
+        assert bumped.tet_volumes().sum() < flat.tet_volumes().sum()
+
+    def test_same_connectivity_as_box(self):
+        from repro.mesh import box_mesh
+        b = bump_mesh(9, 4, 5, jitter=0.1, seed=2)
+        r = box_mesh(9, 4, 5, jitter=0.1, seed=2)
+        assert np.array_equal(b.edges, r.edges)
+
+
+class TestVTK:
+    def _parse(self, path):
+        """Tiny legacy-VTK reader for round-trip checks."""
+        lines = path.read_text().splitlines()
+        i = lines.index(next(l for l in lines if l.startswith("POINTS")))
+        n = int(lines[i].split()[1])
+        pts = np.array([[float(x) for x in lines[i + 1 + k].split()]
+                        for k in range(n)])
+        j = next(k for k, l in enumerate(lines) if l.startswith("CELLS"))
+        nt = int(lines[j].split()[1])
+        cells = np.array([[int(x) for x in lines[j + 1 + k].split()[1:]]
+                          for k in range(nt)])
+        return n, pts, cells, lines
+
+    def test_roundtrip_geometry(self, tmp_path, small_mesh):
+        from repro.mesh import save_vtk
+        p = save_vtk(small_mesh, tmp_path / "m")
+        n, pts, cells, _ = self._parse(p)
+        assert n == small_mesh.num_vertices
+        assert np.allclose(pts, small_mesh.coords)
+        assert np.array_equal(cells, small_mesh.tets)
+
+    def test_point_data_written(self, tmp_path, small_mesh):
+        from repro.mesh import save_vtk
+        rng = np.random.default_rng(0)
+        scal = rng.random(small_mesh.num_vertices)
+        vec = rng.random((small_mesh.num_vertices, 3))
+        p = save_vtk(small_mesh, tmp_path / "d",
+                     point_data={"pressure": scal, "velocity": vec})
+        _, _, _, lines = self._parse(p)
+        assert any(l.startswith("SCALARS pressure") for l in lines)
+        assert any(l.startswith("VECTORS velocity") for l in lines)
+        k = lines.index("LOOKUP_TABLE default")
+        got = np.array([float(lines[k + 1 + i])
+                        for i in range(small_mesh.num_vertices)])
+        assert np.allclose(got, scal)
+
+    def test_bad_field_shape_rejected(self, tmp_path, small_mesh):
+        from repro.mesh import save_vtk
+        with pytest.raises(ValueError):
+            save_vtk(small_mesh, tmp_path / "b",
+                     point_data={"x": np.zeros((3, 2))})
+
+    def test_space_in_name_rejected(self, tmp_path, small_mesh):
+        from repro.mesh import save_vtk
+        with pytest.raises(ValueError):
+            save_vtk(small_mesh, tmp_path / "s",
+                     point_data={"two words":
+                                 np.zeros(small_mesh.num_vertices)})
+
+    def test_cell_types_are_tetra(self, tmp_path, tiny_mesh):
+        from repro.mesh import save_vtk
+        p = save_vtk(tiny_mesh, tmp_path / "t")
+        lines = p.read_text().splitlines()
+        j = next(k for k, l in enumerate(lines)
+                 if l.startswith("CELL_TYPES"))
+        types = {lines[j + 1 + k] for k in range(tiny_mesh.num_tets)}
+        assert types == {"10"}

@@ -1,0 +1,116 @@
+"""Mesh generator tests: validity, counts, grading, shuffling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import box_mesh, shuffle_vertices, unit_cube_mesh, wing_mesh
+
+
+class TestBoxMesh:
+    def test_vertex_count(self):
+        m = box_mesh(3, 4, 5)
+        assert m.num_vertices == 60
+
+    def test_tet_count_six_per_cube(self):
+        m = box_mesh(3, 3, 3)
+        assert m.num_tets == 6 * 2 * 2 * 2
+
+    def test_positive_volumes(self):
+        m = box_mesh(4, 3, 5, jitter=0.3, seed=2)
+        assert np.all(m.tet_volumes() > 0)
+
+    def test_volume_sums_to_box(self):
+        m = box_mesh(5, 4, 3, jitter=0.25, seed=9)
+        assert np.isclose(m.tet_volumes().sum(), 1.0)
+
+    def test_jitter_keeps_boundary_fixed(self):
+        m0 = box_mesh(4, 4, 4)
+        m1 = box_mesh(4, 4, 4, jitter=0.3, seed=1)
+        boundary = np.any((m0.coords < 1e-12) | (m0.coords > 1 - 1e-12), axis=1)
+        assert np.allclose(m0.coords[boundary], m1.coords[boundary])
+
+    def test_jitter_moves_interior(self):
+        m0 = box_mesh(4, 4, 4)
+        m1 = box_mesh(4, 4, 4, jitter=0.3, seed=1)
+        assert not np.allclose(m0.coords, m1.coords)
+
+    def test_deterministic_by_seed(self):
+        a = box_mesh(4, 4, 4, jitter=0.2, seed=5)
+        b = box_mesh(4, 4, 4, jitter=0.2, seed=5)
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_rejects_small_axes(self):
+        with pytest.raises(ValueError):
+            box_mesh(1, 4, 4)
+
+    def test_rejects_big_jitter(self):
+        with pytest.raises(ValueError):
+            box_mesh(3, 3, 3, jitter=0.6)
+
+    def test_conforming_no_hanging_edges(self):
+        """Every tet edge must be in the unique edge list (tested via
+        tet_edge_indices not raising)."""
+        from repro.mesh.edges import tet_edge_indices
+        m = box_mesh(4, 4, 4, jitter=0.3, seed=3)
+        idx, sign = tet_edge_indices(m.tets, m.edges, m.num_vertices)
+        assert idx.shape == (m.num_tets, 6)
+        assert set(np.unique(sign)) <= {-1, 1}
+
+    def test_average_degree_3d_like(self):
+        m = unit_cube_mesh(8)
+        # Interior vertices of the Kuhn subdivision have degree 14;
+        # boundary lowers the average.
+        assert 8 < m.average_degree < 14
+
+
+class TestWingMesh:
+    def test_valid(self, small_wing_mesh):
+        assert np.all(small_wing_mesh.tet_volumes() > 0)
+
+    def test_graded_toward_wall(self):
+        m = wing_mesh(5, 5, 9, jitter=0.0)
+        z = np.unique(np.round(m.coords[:, 2], 12))
+        dz = np.diff(z)
+        assert dz[0] < dz[-1]  # spacing grows away from the wall
+
+    def test_same_connectivity_as_box(self):
+        w = wing_mesh(5, 4, 4, jitter=0.2, seed=3)
+        b = box_mesh(5, 4, 4, jitter=0.2, seed=3)
+        assert np.array_equal(w.edges, b.edges)
+        assert np.array_equal(w.tets, b.tets)
+
+    def test_domain_preserved(self):
+        m = wing_mesh(6, 6, 6, jitter=0.0)
+        assert m.coords.min() >= -1e-12
+        assert m.coords.max() <= 1 + 1e-12
+
+
+class TestShuffle:
+    def test_preserves_geometry(self, small_mesh):
+        s = shuffle_vertices(small_mesh, seed=3)
+        assert np.isclose(s.tet_volumes().sum(),
+                          small_mesh.tet_volumes().sum())
+        assert s.num_edges == small_mesh.num_edges
+
+    def test_degree_multiset_invariant(self, small_mesh):
+        s = shuffle_vertices(small_mesh, seed=3)
+        assert (sorted(s.vertex_graph().degrees())
+                == sorted(small_mesh.vertex_graph().degrees()))
+
+    def test_edges_canonical(self, small_mesh):
+        s = shuffle_vertices(small_mesh, seed=3)
+        assert np.all(s.edges[:, 0] < s.edges[:, 1])
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5),
+       st.floats(0.0, 0.4))
+def test_property_mesh_always_valid(nx, ny, nz, jitter):
+    m = box_mesh(nx, ny, nz, jitter=jitter, seed=1)
+    vols = m.tet_volumes()
+    assert np.all(vols > 0)
+    assert np.isclose(vols.sum(), 1.0)
+    assert m.num_tets == 6 * (nx - 1) * (ny - 1) * (nz - 1)
+    assert np.all(m.edges[:, 0] < m.edges[:, 1])

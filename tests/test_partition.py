@@ -1,0 +1,169 @@
+"""Partitioners: invariants and the k-MeTiS vs p-MeTiS phenomenology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import graph_from_edges
+from repro.partition import (bisect_level_set, coarsen_graph, edge_cut,
+                             fm_refine, heavy_edge_matching, kway_partition,
+                             load_imbalance, partition_quality,
+                             pmetis_partition, subdomain_components)
+from repro.partition.refine import label_components, repair_contiguity
+
+
+def _check_cover(labels, n, nparts):
+    labels = np.asarray(labels)
+    assert labels.shape == (n,)
+    assert labels.min() >= 0
+    assert labels.max() < nparts
+    assert np.unique(labels).size == nparts  # no empty parts
+
+
+class TestCoarsening:
+    def test_matching_symmetric(self, medium_graph):
+        match = heavy_edge_matching(medium_graph, seed=0)
+        assert np.array_equal(match[match], np.arange(medium_graph.num_vertices))
+
+    def test_matching_respects_adjacency(self, medium_graph):
+        match = heavy_edge_matching(medium_graph, seed=0)
+        for v in range(medium_graph.num_vertices):
+            u = match[v]
+            if u != v:
+                assert u in medium_graph.neighbors(v)
+
+    def test_coarse_weight_conserved(self, medium_graph):
+        lvl = coarsen_graph(medium_graph, seed=1)
+        assert lvl.graph.vwgt.sum() == medium_graph.vwgt.sum()
+
+    def test_coarse_strictly_smaller(self, medium_graph):
+        lvl = coarsen_graph(medium_graph, seed=1)
+        assert lvl.graph.num_vertices < medium_graph.num_vertices
+
+    def test_projection_preserves_cut(self, medium_graph):
+        """Edge cut of a coarse partition equals the cut of its
+        projection (weights were accumulated for exactly this)."""
+        lvl = coarsen_graph(medium_graph, seed=2)
+        rng = np.random.default_rng(0)
+        coarse_labels = rng.integers(0, 3, lvl.graph.num_vertices)
+        fine_labels = coarse_labels[lvl.fine_to_coarse]
+        assert (edge_cut(lvl.graph, coarse_labels)
+                == edge_cut(medium_graph, fine_labels))
+
+
+class TestKway:
+    @pytest.mark.parametrize("nparts", [2, 5, 8])
+    def test_valid_partition(self, medium_graph, nparts):
+        labels = kway_partition(medium_graph, nparts, seed=0)
+        _check_cover(labels, medium_graph.num_vertices, nparts)
+
+    def test_single_part(self, medium_graph):
+        labels = kway_partition(medium_graph, 1)
+        assert np.all(labels == 0)
+
+    def test_balance_tolerance_met(self, medium_graph):
+        labels = kway_partition(medium_graph, 8, seed=1, balance_tol=1.08)
+        assert load_imbalance(labels) <= 1.15
+
+    def test_mostly_connected_subdomains(self, medium_graph):
+        labels = kway_partition(medium_graph, 8, seed=0)
+        comps = subdomain_components(medium_graph, labels)
+        assert np.maximum(comps - 1, 0).sum() <= 1
+
+    def test_cut_beats_random(self, medium_graph):
+        rng = np.random.default_rng(0)
+        rand = rng.integers(0, 8, medium_graph.num_vertices)
+        ours = kway_partition(medium_graph, 8, seed=0)
+        assert edge_cut(medium_graph, ours) < 0.5 * edge_cut(medium_graph, rand)
+
+    def test_too_many_parts_raises(self):
+        g = graph_from_edges(3, [[0, 1], [1, 2]])
+        with pytest.raises(ValueError):
+            kway_partition(g, 5)
+
+
+class TestPMetis:
+    @pytest.mark.parametrize("nparts", [2, 3, 8])
+    def test_valid_partition(self, medium_graph, nparts):
+        labels = pmetis_partition(medium_graph, nparts, seed=0)
+        _check_cover(labels, medium_graph.num_vertices, nparts)
+
+    def test_near_perfect_balance(self, medium_graph):
+        for nparts in (2, 4, 8, 16):
+            labels = pmetis_partition(medium_graph, nparts, seed=0)
+            assert load_imbalance(labels) <= 1.03
+
+    def test_bisect_halves(self, medium_graph):
+        second = bisect_level_set(medium_graph, seed=0)
+        n = medium_graph.num_vertices
+        assert abs(int(second.sum()) - n // 2) <= 1
+
+    def test_nonpow2_parts(self, medium_graph):
+        labels = pmetis_partition(medium_graph, 6, seed=0)
+        _check_cover(labels, medium_graph.num_vertices, 6)
+        assert load_imbalance(labels) <= 1.05
+
+
+class TestPhenomenology:
+    """The structural contrast driving the paper's Fig. 4."""
+
+    def test_kway_connected_pmetis_balanced(self, medium_graph):
+        p = 16
+        kl = kway_partition(medium_graph, p, seed=1)
+        pl = pmetis_partition(medium_graph, p, seed=1)
+        qk = partition_quality(medium_graph, kl)
+        qp = partition_quality(medium_graph, pl)
+        # p-metis balances better ...
+        assert qp.imbalance <= qk.imbalance + 1e-9
+        # ... k-way fragments less (or equal).
+        assert qk.total_extra_components <= qp.total_extra_components
+
+    def test_fragmentation_grows_with_parts(self, medium_graph):
+        xs = [partition_quality(
+            medium_graph, pmetis_partition(medium_graph, p, seed=3)
+        ).total_extra_components for p in (4, 32)]
+        assert xs[1] >= xs[0]
+
+
+class TestRefine:
+    def test_refine_never_worsens_cut_much(self, medium_graph):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 4, medium_graph.num_vertices)
+        refined = fm_refine(medium_graph, labels, 4, balance_tol=1.3)
+        assert (edge_cut(medium_graph, refined)
+                <= edge_cut(medium_graph, labels))
+
+    def test_strict_balance_preserved(self, medium_graph):
+        labels = pmetis_partition(medium_graph, 4, seed=0, refine=False)
+        before = load_imbalance(labels)
+        refined = fm_refine(medium_graph, labels, 4, strict_balance=True)
+        assert load_imbalance(refined) <= before + 1e-9
+
+    def test_label_components_consistent(self, medium_graph):
+        labels = pmetis_partition(medium_graph, 8, seed=0)
+        comp = label_components(medium_graph, labels)
+        # Same component -> same label.
+        for c in np.unique(comp):
+            assert np.unique(labels[comp == c]).size == 1
+        # Totals agree with the per-part counter.
+        per_part = subdomain_components(medium_graph, labels)
+        assert int(comp.max()) + 1 == int(per_part.sum())
+
+    def test_repair_contiguity_heals(self, medium_graph):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 3, medium_graph.num_vertices)  # fragmented
+        healed = repair_contiguity(medium_graph, labels, 3)
+        comps = subdomain_components(medium_graph, healed)
+        assert np.maximum(comps - 1, 0).sum() == 0
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(2, 5), st.integers(0, 20))
+def test_property_partitions_cover(nparts, seed):
+    from repro.mesh import unit_cube_mesh
+    g = unit_cube_mesh(5, jitter=0.2, seed=seed % 3).vertex_graph()
+    for fn in (kway_partition, pmetis_partition):
+        labels = fn(g, nparts, seed=seed)
+        assert labels.shape == (g.num_vertices,)
+        assert set(np.unique(labels)) == set(range(nparts))

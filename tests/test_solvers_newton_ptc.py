@@ -1,0 +1,147 @@
+"""Inexact Newton and the SER pseudo-transient controller."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers import PTCConfig, SERController, newton_solve
+
+
+def quadratic_system(n, seed):
+    """F(u) = A u + u*u - b with known root."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) * 0.3 + np.eye(n) * 3
+    u_star = rng.random(n)
+    b = a @ u_star + u_star**2
+
+    def residual(u):
+        return a @ u + u**2 - b
+
+    def solve_linear(u, f):
+        j = a + np.diag(2 * u)
+        return np.linalg.solve(j, -f), 1
+
+    return residual, solve_linear, u_star
+
+
+class TestNewton:
+    def test_converges_quadratically(self):
+        residual, solve_linear, u_star = quadratic_system(10, 0)
+        res = newton_solve(residual, solve_linear, np.zeros(10), rtol=1e-12)
+        assert res.converged
+        assert np.allclose(res.u, u_star, atol=1e-8)
+        # Quadratic tail: few iterations.
+        assert res.iterations <= 10
+
+    def test_respects_max_newton(self):
+        residual, solve_linear, _ = quadratic_system(10, 1)
+        res = newton_solve(residual, solve_linear, np.zeros(10) + 100,
+                           rtol=1e-14, max_newton=2)
+        assert res.iterations <= 2
+
+    def test_line_search_monotone(self):
+        residual, solve_linear, _ = quadratic_system(8, 2)
+        res = newton_solve(residual, solve_linear, np.ones(8) * 3,
+                           rtol=1e-10, line_search=True)
+        r = np.array(res.residual_norms)
+        assert np.all(np.diff(r) <= 1e-9 * r[:-1] + 1e-14)
+
+    def test_already_converged(self):
+        residual, solve_linear, u_star = quadratic_system(6, 3)
+        res = newton_solve(residual, solve_linear, u_star, rtol=1e-6)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_inexact_solves_still_converge(self):
+        """Loose forcing (noisy linear solve) converges, just slower."""
+        residual, solve_linear, u_star = quadratic_system(10, 4)
+        rng = np.random.default_rng(0)
+
+        def sloppy(u, f):
+            d, its = solve_linear(u, f)
+            return d * (1 + 0.01 * rng.standard_normal(d.size)), its
+
+        res = newton_solve(residual, sloppy, np.zeros(10), rtol=1e-8,
+                           max_newton=50)
+        assert res.converged
+
+    def test_function_eval_accounting(self):
+        residual, solve_linear, _ = quadratic_system(6, 5)
+        res = newton_solve(residual, solve_linear, np.zeros(6), rtol=1e-10)
+        assert res.function_evals >= res.iterations + 1
+
+
+class TestSERController:
+    def test_cfl_grows_as_residual_drops(self):
+        c = SERController(PTCConfig(cfl0=10.0, exponent=1.0))
+        c.update(1.0)
+        assert c.cfl == pytest.approx(10.0)
+        c.update(0.1)
+        assert c.cfl == pytest.approx(100.0)
+        c.update(0.01)
+        assert c.cfl == pytest.approx(1000.0)
+
+    def test_power_law_exponent(self):
+        c = SERController(PTCConfig(cfl0=5.0, exponent=0.75))
+        c.update(1.0)
+        c.update(0.01)
+        assert c.cfl == pytest.approx(5.0 * 100**0.75)
+
+    def test_cfl_capped(self):
+        c = SERController(PTCConfig(cfl0=10.0, cfl_max=1e4))
+        c.update(1.0)
+        c.update(1e-12)
+        assert c.cfl == 1e4
+
+    def test_cfl_can_shrink_on_residual_growth(self):
+        c = SERController(PTCConfig(cfl0=10.0))
+        c.update(1.0)
+        c.update(4.0)   # residual grew
+        assert c.cfl < 10.0
+
+    def test_cfl_floor(self):
+        c = SERController(PTCConfig(cfl0=10.0, cfl_min=1.0))
+        c.update(1.0)
+        c.update(1e9)
+        assert c.cfl == 1.0
+
+    def test_order_switching(self):
+        cfg = PTCConfig(cfl0=1.0, switch_order_drop=1e-2,
+                        first_order_exponent=1.5)
+        c = SERController(cfg)
+        c.update(1.0)
+        assert not c.second_order
+        c.update(0.5)
+        assert not c.second_order
+        c.update(0.009)
+        assert c.second_order
+
+    def test_first_order_exponent_used(self):
+        cfg = PTCConfig(cfl0=1.0, exponent=0.75, switch_order_drop=1e-6,
+                        first_order_exponent=1.5)
+        c = SERController(cfg)
+        c.update(1.0)
+        c.update(0.1)
+        assert c.cfl == pytest.approx(10**1.5)
+
+    def test_rejects_bad_norm(self):
+        c = SERController(PTCConfig())
+        with pytest.raises(ValueError):
+            c.update(float("nan"))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PTCConfig(cfl0=-1)
+        with pytest.raises(ValueError):
+            PTCConfig(cfl0=10, cfl_max=5)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.floats(0.1, 100), st.floats(0.25, 1.5),
+           st.lists(st.floats(1e-12, 1e3), min_size=1, max_size=20))
+    def test_property_cfl_always_in_bounds(self, cfl0, p, norms):
+        cfg = PTCConfig(cfl0=cfl0, exponent=p, cfl_max=1e6, cfl_min=1e-3)
+        c = SERController(cfg)
+        for f in norms:
+            cfl = c.update(f)
+            assert cfg.cfl_min <= cfl <= cfg.cfl_max

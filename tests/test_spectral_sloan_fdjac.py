@@ -1,0 +1,168 @@
+"""Spectral partitioning, Sloan ordering, and colored FD Jacobians."""
+
+import numpy as np
+import pytest
+
+from repro.euler import (distance2_vertex_coloring, fd_jacobian_colored,
+                         wing_problem)
+from repro.graph import (bandwidth, envelope_profile, graph_from_edges,
+                         rcm_ordering, sloan_ordering)
+from repro.mesh import shuffle_vertices, unit_cube_mesh
+from repro.partition import (edge_cut, fiedler_vector, load_imbalance,
+                             partition_quality, spectral_bisect,
+                             spectral_partition)
+
+
+class TestFiedler:
+    def test_orthogonal_to_constants(self, medium_graph):
+        f = fiedler_vector(medium_graph, seed=0)
+        assert abs(f.mean()) < 1e-8
+        assert np.linalg.norm(f) == pytest.approx(1.0, rel=1e-6)
+
+    def test_matches_scipy_eigsh(self):
+        """The from-scratch Fiedler value agrees with scipy's (oracle)."""
+        import scipy.sparse as sp
+        import scipy.sparse.linalg as spla
+
+        g = unit_cube_mesh(5, jitter=0.2, seed=1).vertex_graph()
+        f = fiedler_vector(g, tol=1e-10, seed=0)
+        edges = g.edge_list()
+        n = g.num_vertices
+        w = np.ones(edges.shape[0])
+        a = sp.coo_matrix((w, (edges[:, 0], edges[:, 1])), shape=(n, n))
+        a = a + a.T
+        lap = sp.diags(np.asarray(a.sum(axis=1)).ravel()) - a
+        vals = spla.eigsh(lap.tocsc(), k=2, sigma=-1e-8,
+                          return_eigenvectors=False)
+        lam2_ref = float(np.sort(vals)[1])
+        lam2_ours = float(f @ _lap_matvec(g, f))
+        assert lam2_ours == pytest.approx(lam2_ref, rel=0.05)
+
+    def test_path_graph_sign_structure(self):
+        """On a path, the Fiedler vector is monotone: the sign split is
+        the midpoint cut."""
+        n = 16
+        edges = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+        g = graph_from_edges(n, edges)
+        second = spectral_bisect(g, seed=0)
+        # The two halves are contiguous runs.
+        changes = int(np.sum(np.diff(second.astype(int)) != 0))
+        assert changes == 1
+        assert abs(int(second.sum()) - n // 2) <= 1
+
+
+def _lap_matvec(g, x):
+    from repro.partition.spectral import _laplacian_matvec
+    return _laplacian_matvec(g, x)
+
+
+class TestSpectralPartition:
+    def test_valid_partition(self, medium_graph):
+        for p in (2, 4, 6):
+            labels = spectral_partition(medium_graph, p, seed=0)
+            assert set(np.unique(labels)) == set(range(p))
+
+    def test_balance(self, medium_graph):
+        labels = spectral_partition(medium_graph, 8, seed=0)
+        assert load_imbalance(labels) <= 1.1
+
+    def test_cut_quality_competitive(self, medium_graph):
+        """Spectral cuts are competitive with the multilevel k-way ones
+        (classically they are often better on smooth geometries)."""
+        from repro.partition import kway_partition
+        cs = edge_cut(medium_graph, spectral_partition(medium_graph, 8,
+                                                       seed=0))
+        ck = edge_cut(medium_graph, kway_partition(medium_graph, 8, seed=0))
+        assert cs < 1.4 * ck
+
+    def test_validation(self, medium_graph):
+        with pytest.raises(ValueError):
+            spectral_partition(medium_graph, 0)
+
+
+class TestSloan:
+    @pytest.fixture(scope="class")
+    def shuffled_graph(self):
+        return shuffle_vertices(unit_cube_mesh(8, jitter=0.2),
+                                seed=4).vertex_graph()
+
+    def test_is_permutation(self, shuffled_graph):
+        perm = sloan_ordering(shuffled_graph)
+        assert np.array_equal(np.sort(perm),
+                              np.arange(shuffled_graph.num_vertices))
+
+    def test_reduces_profile_strongly(self, shuffled_graph):
+        perm = sloan_ordering(shuffled_graph)
+        assert (envelope_profile(shuffled_graph, perm)
+                < envelope_profile(shuffled_graph) / 3)
+
+    def test_competitive_with_rcm_on_profile(self, shuffled_graph):
+        ps = envelope_profile(shuffled_graph,
+                              sloan_ordering(shuffled_graph))
+        pr = envelope_profile(shuffled_graph, rcm_ordering(shuffled_graph))
+        assert ps < 1.2 * pr
+
+    def test_disconnected_graph(self):
+        g = graph_from_edges(6, [[0, 1], [1, 2], [3, 4], [4, 5]])
+        perm = sloan_ordering(g)
+        assert np.array_equal(np.sort(perm), np.arange(6))
+
+
+class TestColoredFDJacobian:
+    def test_coloring_is_distance2_proper(self, small_mesh):
+        g = small_mesh.vertex_graph()
+        colors = distance2_vertex_coloring(g)
+        # Neighbours differ...
+        e = g.edge_list()
+        assert np.all(colors[e[:, 0]] != colors[e[:, 1]])
+        # ...and so do vertices sharing a neighbour.
+        for v in range(0, g.num_vertices, 7):
+            nbrs = g.neighbors(v)
+            ring2 = np.unique(np.concatenate(
+                [g.neighbors(int(u)) for u in nbrs])) if nbrs.size else []
+            for w in ring2:
+                if w != v:
+                    assert colors[w] != colors[v]
+
+    def test_far_fewer_colors_than_vertices(self, medium_graph):
+        colors = distance2_vertex_coloring(medium_graph)
+        assert colors.max() + 1 < medium_graph.num_vertices / 5
+
+    def test_matches_brute_force_fd(self, rng):
+        prob = wing_problem(5, 4, 4, second_order=False)
+        disc = prob.disc
+        q = prob.initial.flat() + 0.01 * rng.standard_normal(
+            prob.num_unknowns)
+        jc = fd_jacobian_colored(disc, q).to_csr().to_dense()
+        eps = np.sqrt(np.finfo(float).eps) * (1 + np.abs(q).max())
+        r0 = disc.residual(q, second_order=False)
+        for c in range(0, q.size, 13):    # spot-check columns
+            qp = q.copy()
+            qp[c] += eps
+            col = (disc.residual(qp, second_order=False) - r0) / eps
+            assert np.allclose(jc[:, c], col, atol=1e-12)
+
+    def test_close_to_analytical(self, rng):
+        """FD (exact) vs analytical (frozen dissipation): small gap."""
+        prob = wing_problem(5, 4, 4, second_order=False)
+        q = prob.initial.flat() + 0.01 * rng.standard_normal(
+            prob.num_unknowns)
+        jc = fd_jacobian_colored(prob.disc, q).to_csr().to_dense()
+        ja = prob.disc.assemble_jacobian(q).to_csr().to_dense()
+        assert np.abs(jc - ja).max() / np.abs(jc).max() < 0.02
+
+    def test_second_order_jacobian_available(self, rng):
+        """The colored FD path also differentiates the 2nd-order
+        residual — the Jacobian the analytical assembly cannot build."""
+        prob = wing_problem(5, 4, 4)
+        q = prob.initial.flat() + 0.01 * rng.standard_normal(
+            prob.num_unknowns)
+        j2 = fd_jacobian_colored(prob.disc, q, second_order=True)
+        v = rng.standard_normal(q.size)
+        jv_op = prob.disc.jacobian_operator(q, second_order=True).matvec(v)
+        rel = (np.linalg.norm(j2.to_csr() @ v - jv_op)
+               / np.linalg.norm(jv_op))
+        # NOTE: the 2nd-order residual couples distance-2 vertices
+        # through the gradients, which the stencil pattern truncates;
+        # agreement is approximate by design.
+        assert rel < 0.35
