@@ -1,0 +1,165 @@
+"""Kernel-regression bench: time the per-Newton-step kernels.
+
+Times the kernels the paper's Table 2 prices — numeric ILU
+refactorisation, triangular solves, SpMV, residual/flux assembly, and
+a full GMRES(30) cycle — on a wing mesh, and writes the medians to
+``BENCH_kernels.json`` (schema in :mod:`repro.perf.regress`).
+
+Where a pre-optimisation reference implementation is preserved
+(``ilu_bsr_ref``/``ilu_csr_ref`` row loops, ``gmres_ref`` with
+per-restart allocation and per-refresh symbolic ILU), both legs are
+timed and the speedup recorded; the remaining kernels are recorded as
+single timings so successive reports can be diffed.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_regression.py \
+        --size 18 --repeats 5 --out BENCH_kernels.json
+
+``--size N`` builds ``wing_mesh(N, N, N)`` (N=18 is the ~6k-vertex
+case the acceptance numbers quote; CI smoke-runs N=6).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.euler.problems import wing_problem
+from repro.partition.kway import kway_partition
+from repro.perf import compare_kernels, time_kernel, write_report
+from repro.precond.asm import AdditiveSchwarz, ASMConfig
+from repro.solvers import KrylovWorkspace, gmres, gmres_ref
+from repro.solvers.krylov_base import OperatorFromMatrix
+from repro.sparse.ilu import ilu_bsr, ilu_bsr_ref, ilu_csr, ilu_csr_ref, \
+    ilu_symbolic
+
+FILL = 1          # the ILU(k) level the acceptance criterion quotes
+NPARTS = 8
+OVERLAP = 1
+GMRES_M = 30
+
+
+def _setup_ref(pc: AdditiveSchwarz, jac) -> None:
+    """Pre-PR preconditioner refresh: per-subdomain symbolic ILU redone
+    from scratch and the row-loop numeric factorisation."""
+    for sd in pc.subdomains:
+        sub = jac.submatrix(sd.rows)
+        pat = ilu_symbolic(sub.indptr, sub.indices, sd.fill_level)
+        sd.factor = ilu_bsr_ref(sub, pattern=pat)
+
+
+def run(size: int, repeats: int, out: str | None) -> dict:
+    problem = wing_problem(size, size, size, seed=0)
+    disc = problem.disc
+    mesh = problem.mesh
+    q = np.asarray(problem.initial.q, dtype=np.float64).ravel()
+    jac = disc.shifted_jacobian(q, cfl=50.0)
+    csr = jac.to_csr()
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(jac.shape[1])
+
+    kernels: dict[str, dict] = {}
+
+    # --- ILU(1) numeric refactorisation (the tentpole metric) ---------
+    pat_bsr = ilu_symbolic(jac.indptr, jac.indices, FILL)
+    kernels["ilu1_refactor_bsr"] = compare_kernels(
+        "ilu1_refactor_bsr",
+        lambda: ilu_bsr_ref(jac, pattern=pat_bsr),
+        lambda: ilu_bsr(jac, pattern=pat_bsr),
+        repeats=repeats)
+    pat_csr = ilu_symbolic(csr.indptr, csr.indices, FILL)
+    kernels["ilu1_refactor_csr"] = compare_kernels(
+        "ilu1_refactor_csr",
+        lambda: ilu_csr_ref(csr, pattern=pat_csr),
+        lambda: ilu_csr(csr, pattern=pat_csr),
+        repeats=repeats)
+
+    # --- triangular solve / SpMV / residual (tracked, no ref leg) -----
+    factor = ilu_bsr(jac, pattern=pat_bsr)
+    b = rng.standard_normal(jac.shape[0])
+    kernels["ilu1_trisolve_bsr"] = time_kernel(
+        "ilu1_trisolve_bsr", lambda: factor.solve(b),
+        repeats=repeats).as_dict()
+    kernels["spmv_bsr"] = time_kernel(
+        "spmv_bsr", lambda: jac @ x, repeats=repeats).as_dict()
+    kernels["spmv_csr"] = time_kernel(
+        "spmv_csr", lambda: csr @ x, repeats=repeats).as_dict()
+    kernels["residual_first_order"] = time_kernel(
+        "residual_first_order",
+        lambda: disc.residual(q, second_order=False),
+        repeats=repeats).as_dict()
+    kernels["residual_second_order"] = time_kernel(
+        "residual_second_order",
+        lambda: disc.residual(q, second_order=True),
+        repeats=repeats).as_dict()
+    kernels["jacobian_assembly"] = time_kernel(
+        "jacobian_assembly",
+        lambda: disc.shifted_jacobian(q, cfl=50.0),
+        repeats=repeats).as_dict()
+
+    # --- one Newton step's linear work: refresh + GMRES(30) cycle ----
+    # Pre-PR leg: full preconditioner re-setup (symbolic + row-loop
+    # numeric) and gmres_ref's per-restart allocation.  New leg: the
+    # driver path — numeric-only refresh on cached schedules and a
+    # reused KrylovWorkspace.  rtol=0 pins both to exactly 30 inner
+    # iterations, so the work compared is identical.
+    labels = kway_partition(mesh.vertex_graph(), NPARTS, seed=0)
+    cfg = ASMConfig(overlap=OVERLAP, fill_level=FILL)
+    pc = AdditiveSchwarz(labels, cfg, graph=mesh.vertex_graph()).setup(jac)
+    op = OperatorFromMatrix(jac)
+    ws = KrylovWorkspace()
+
+    def cycle_ref():
+        _setup_ref(pc, jac)
+        return gmres_ref(op, b, M=pc, rtol=0.0, restart=GMRES_M,
+                         maxiter=GMRES_M)
+
+    def cycle_new():
+        pc.setup(jac)
+        return gmres(op, b, M=pc, rtol=0.0, restart=GMRES_M,
+                     maxiter=GMRES_M, workspace=ws)
+
+    kernels["gmres30_cycle"] = compare_kernels(
+        "gmres30_cycle", cycle_ref, cycle_new, repeats=repeats)
+
+    meta = {
+        "mesh": f"wing_mesh({size},{size},{size})",
+        "num_vertices": int(mesh.num_vertices),
+        "num_unknowns": int(disc.num_unknowns),
+        "block_size": int(jac.bs),
+        "nnz_blocks": int(jac.nnzb),
+        "fill_level": FILL,
+        "gmres_restart": GMRES_M,
+        "asm": {"nparts": NPARTS, "overlap": OVERLAP},
+        "repeats": repeats,
+        "numpy": np.__version__,
+    }
+    if out:
+        path = write_report(out, kernels, meta)
+        print(f"[bench] report written to {path}")
+    return {"meta": meta, "kernels": kernels}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--size", type=int, default=18,
+                    help="wing mesh is size^3 vertices (default 18)")
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--out", default="BENCH_kernels.json",
+                    help="report path ('' to skip writing)")
+    args = ap.parse_args(argv)
+    doc = run(args.size, args.repeats, args.out or None)
+    for name, entry in doc["kernels"].items():
+        if "speedup" in entry:
+            print(f"{name:24s} ref {entry['ref_median_s'] * 1e3:9.2f} ms   "
+                  f"new {entry['new_median_s'] * 1e3:9.2f} ms   "
+                  f"speedup {entry['speedup']:6.2f}x")
+        else:
+            print(f"{name:24s}     {entry['median_s'] * 1e3:9.2f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

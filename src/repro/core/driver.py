@@ -32,6 +32,7 @@ from repro.precond.asm import AdditiveSchwarz, ASMConfig
 from repro.solvers.gmres import gmres
 from repro.solvers.krylov_base import OperatorFromMatrix
 from repro.solvers.ptc import SERController
+from repro.solvers.workspace import KrylovWorkspace
 
 __all__ = ["NKSSolver", "SolveReport", "StepRecord"]
 
@@ -105,6 +106,7 @@ class NKSSolver:
         self.config = config or SolverConfig()
         self._labels = self._build_labels()
         self._pc: AdditiveSchwarz | None = None
+        self._ws = KrylovWorkspace()     # Krylov arrays, reused every step
         self._steps_since_refresh = 0
 
     # ------------------------------------------------------------------
@@ -183,7 +185,12 @@ class NKSSolver:
                 jac = self.disc.shifted_jacobian(q, cfl)
                 t_asm = time.perf_counter() - t0
                 t0 = time.perf_counter()
-                self._pc = self._make_pc().setup(jac)
+                # Keep the preconditioner instance across refreshes: the
+                # Jacobian sparsity is fixed, so setup() reuses the
+                # subdomains' symbolic ILU and elimination schedules.
+                if self._pc is None:
+                    self._pc = self._make_pc()
+                self._pc.setup(jac)
                 t_pc = time.perf_counter() - t0
                 self._jac = jac
                 self._steps_since_refresh = 0
@@ -201,7 +208,8 @@ class NKSSolver:
                         rtol=cfg.krylov.rtol,
                         restart=cfg.krylov.restart,
                         maxiter=cfg.krylov.max_iterations,
-                        orthog=cfg.krylov.orthogonalization)
+                        orthog=cfg.krylov.orthogonalization,
+                        workspace=self._ws)
             t_kry = time.perf_counter() - t0
 
             q += res.x

@@ -24,6 +24,7 @@ from repro.mesh.dualmesh import DualMetrics, compute_dual_metrics
 from repro.mesh.mesh import Mesh
 from repro.sparse.bsr import BSRMatrix
 from repro.sparse.layouts import BlockStructure, assemble_bsr, block_structure_from_edges
+from repro.sparse.segsum import segment_sum
 from repro.solvers.krylov_base import OperatorFromCallable
 
 __all__ = ["EdgeFVDiscretization"]
@@ -93,9 +94,10 @@ class EdgeFVDiscretization:
         else:
             ql, qr = q[e0], q[e1]
         f = self._numerical_flux(ql, qr, s)
-        r = np.zeros_like(q)
-        np.add.at(r, e0, f)
-        np.add.at(r, e1, -f)
+        n = self.mesh.num_vertices
+        r = (segment_sum(e0, f, n, self.mesh.edge_scatter_index(0, self.ncomp))
+             - segment_sum(e1, f, n,
+                           self.mesh.edge_scatter_index(1, self.ncomp)))
         self._add_boundary_residual(q, r)
         return r.ravel()
 
@@ -105,10 +107,12 @@ class EdgeFVDiscretization:
             return
         qb = q[bc.vertices]
         # Walls.
+        # bc.vertices is unique (one entry per boundary vertex), so the
+        # masked subsets are too and plain fancy-indexed adds are exact.
         wm = bc.wall_mask
         if wm.any():
             fw = self._wall_flux(qb[wm], bc.normals[wm])
-            np.add.at(r, bc.vertices[wm], fw)
+            r[bc.vertices[wm]] += fw
         # Farfield: Rusanov against the frozen freestream.
         fm = bc.farfield_mask
         if fm.any():
@@ -117,7 +121,7 @@ class EdgeFVDiscretization:
             qi = qb[fm]
             qe = np.broadcast_to(self.farfield_state, qi.shape)
             ff = self._numerical_flux(qi, qe, bc.normals[fm])
-            np.add.at(r, bc.vertices[fm], ff)
+            r[bc.vertices[fm]] += ff
 
     # -- first-order analytical Jacobian -----------------------------------
     def assemble_jacobian(self, qflat: np.ndarray) -> BSRMatrix:
@@ -130,11 +134,11 @@ class EdgeFVDiscretization:
         jl, jr = rusanov_flux_jacobians(q[e0], q[e1], s,
                                         self._flux_jacobian, self._wavespeed)
         n = self.mesh.num_vertices
-        diag = np.zeros((n, self.ncomp, self.ncomp))
+        nc2 = self.ncomp * self.ncomp
         # R_i += F_ij  ->  dR_i/dq_i += jl, dR_i/dq_j += jr
         # R_j -= F_ij  ->  dR_j/dq_j -= jr, dR_j/dq_i -= jl
-        np.add.at(diag, e0, jl)
-        np.add.at(diag, e1, -jr)
+        diag = (segment_sum(e0, jl, n, self.mesh.edge_scatter_index(0, nc2))
+                - segment_sum(e1, jr, n, self.mesh.edge_scatter_index(1, nc2)))
         self._add_boundary_jacobian(q, diag)
         return assemble_bsr(self.structure, self.ncomp, diag,
                             off_ij=jr, off_ji=-jl)
@@ -147,7 +151,7 @@ class EdgeFVDiscretization:
         wm = bc.wall_mask
         if wm.any():
             jw = self._wall_flux_jacobian(qb[wm], bc.normals[wm])
-            np.add.at(diag, bc.vertices[wm], jw)
+            diag[bc.vertices[wm]] += jw
         fm = bc.farfield_mask
         if fm.any():
             qi = qb[fm]
@@ -155,7 +159,7 @@ class EdgeFVDiscretization:
             jl, _ = rusanov_flux_jacobians(qi, qe, bc.normals[fm],
                                            self._flux_jacobian,
                                            self._wavespeed)
-            np.add.at(diag, bc.vertices[fm], jl)
+            diag[bc.vertices[fm]] += jl
 
     # -- pseudo-transient scaling ------------------------------------------
     def timestep_shift(self, qflat: np.ndarray, cfl: float) -> np.ndarray:
@@ -169,13 +173,12 @@ class EdgeFVDiscretization:
         e1 = self.mesh.edges[:, 1]
         s = self.dual.edge_normals
         lam = np.maximum(self._wavespeed(q[e0], s), self._wavespeed(q[e1], s))
-        acc = np.zeros(self.mesh.num_vertices)
-        np.add.at(acc, e0, lam)
-        np.add.at(acc, e1, lam)
+        n = self.mesh.num_vertices
+        acc = (segment_sum(e0, lam, n, self.mesh.edge_scatter_index(0, 1))
+               + segment_sum(e1, lam, n, self.mesh.edge_scatter_index(1, 1)))
         bc = self.bc
         if bc.vertices.size:
-            lb = self._wavespeed(q[bc.vertices], bc.normals)
-            np.add.at(acc, bc.vertices, lb)
+            acc[bc.vertices] += self._wavespeed(q[bc.vertices], bc.normals)
         return acc / cfl
 
     def shifted_jacobian(self, qflat: np.ndarray, cfl: float) -> BSRMatrix:

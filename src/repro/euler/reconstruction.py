@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.mesh.dualmesh import DualMetrics
 from repro.mesh.mesh import Mesh
+from repro.sparse.segsum import segment_sum
 
 __all__ = ["Limiter", "green_gauss_gradients", "reconstruct_edge_states"]
 
@@ -41,9 +42,9 @@ def green_gauss_gradients(mesh: Mesh, dual: DualMetrics,
     e1 = mesh.edges[:, 1]
     qm = 0.5 * (q[e0] + q[e1])                      # (ne, ncomp)
     contrib = qm[:, :, None] * dual.edge_normals[:, None, :]  # (ne,ncomp,3)
-    grad = np.zeros((n, ncomp, 3))
-    np.add.at(grad, e0, contrib)
-    np.add.at(grad, e1, -contrib)
+    grad = (segment_sum(e0, contrib, n, mesh.edge_scatter_index(0, ncomp * 3))
+            - segment_sum(e1, contrib, n,
+                          mesh.edge_scatter_index(1, ncomp * 3)))
     grad += q[:, :, None] * dual.bnd_vertex_normals[:, None, :]
     grad /= dual.dual_volumes[:, None, None]
     return grad

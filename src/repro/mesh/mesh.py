@@ -66,6 +66,17 @@ class Mesh:
             self._cache[key] = graph_from_edges(self.num_vertices, self.edges)
         return self._cache[key]
 
+    def edge_scatter_index(self, end: int, trailing: int) -> np.ndarray:
+        """Cached flattened scatter index for accumulating per-edge
+        quantities with ``trailing`` components into vertex ``end``
+        (0 or 1) of every edge — the index array feeding the
+        bincount-based segmented sums of the flux/gradient loops."""
+        key = ("edge_scatter", end, trailing)
+        if key not in self._cache:
+            from repro.sparse.segsum import flat_segment_index
+            self._cache[key] = flat_segment_index(self.edges[:, end], trailing)
+        return self._cache[key]
+
     def tet_volumes(self) -> np.ndarray:
         """Signed volumes of all tets (positive for valid orientation)."""
         p = self.coords

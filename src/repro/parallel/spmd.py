@@ -24,6 +24,7 @@ import numpy as np
 from repro.euler.discretization import EdgeFVDiscretization
 from repro.graph.adjacency import Graph
 from repro.sparse.bsr import BSRMatrix
+from repro.sparse.segsum import segment_sum
 
 __all__ = ["RankLocalData", "SPMDLayout", "GhostExchange",
            "distributed_residual", "distributed_matvec", "distributed_dot"]
@@ -171,9 +172,8 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
             qr = local_q[rd.rank][rd.local_edges[:, 1]]
             s = disc.dual.edge_normals[rd.edge_ids]
             f = rusanov_flux(ql, qr, s, disc._flux, disc._wavespeed)
-            r_local = np.zeros((rd.n_local, ncomp))
-            np.add.at(r_local, rd.local_edges[:, 0], f)
-            np.add.at(r_local, rd.local_edges[:, 1], -f)
+            r_local = (segment_sum(rd.local_edges[:, 0], f, rd.n_local)
+                       - segment_sum(rd.local_edges[:, 1], f, rd.n_local))
         # Boundary closures on owned boundary vertices.
         bc = disc.bc
         owned_set = rd.owned

@@ -1,0 +1,30 @@
+"""Kernel-level performance measurement and regression tracking.
+
+The paper's performance story is told at the kernel level — flux
+evaluation, Jacobian refactorisation, triangular solves, SpMV, and the
+Krylov cycle are the phases its models price (Table 2, Sec. 3).  This
+package provides the small amount of shared machinery the kernel
+benches need:
+
+* :mod:`repro.perf.timers` — monotonic wall-clock timing contexts and
+  robust (median-based) aggregation;
+* :mod:`repro.perf.bench` — the repeat/warm-up harness for timing one
+  kernel callable, plus speedup bookkeeping between a reference and an
+  optimised implementation;
+* :mod:`repro.perf.regress` — the JSON report format
+  (``BENCH_kernels.json``) that lets successive commits be compared.
+"""
+
+from repro.perf.timers import Timer, median
+from repro.perf.bench import BenchResult, time_kernel, compare_kernels
+from repro.perf.regress import write_report, load_report
+
+__all__ = [
+    "Timer",
+    "median",
+    "BenchResult",
+    "time_kernel",
+    "compare_kernels",
+    "write_report",
+    "load_report",
+]

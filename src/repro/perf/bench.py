@@ -1,0 +1,73 @@
+"""Repeat/warm-up harness for timing a single kernel callable."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.timers import Timer, median
+
+__all__ = ["BenchResult", "time_kernel", "compare_kernels"]
+
+
+@dataclass
+class BenchResult:
+    """Timing summary of one kernel: all repeats kept, median quoted."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+
+    @property
+    def median_s(self) -> float:
+        return median(self.times)
+
+    @property
+    def min_s(self) -> float:
+        return min(self.times)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "median_s": self.median_s,
+                "min_s": self.min_s, "repeats": len(self.times),
+                "times_s": list(self.times)}
+
+
+def time_kernel(name: str, fn, *, repeats: int = 5,
+                warmup: int = 1) -> BenchResult:
+    """Time ``fn()`` ``repeats`` times after ``warmup`` discarded calls.
+
+    The warm-up absorbs one-time costs (symbolic analysis, schedule
+    compilation, workspace allocation, numpy internals), so the
+    repeats measure the steady-state cost — the quantity that recurs
+    every pseudo-timestep and that the paper's models price.  To
+    measure the *cold* cost instead, time the first call explicitly.
+    """
+    for _ in range(warmup):
+        fn()
+    result = BenchResult(name=name)
+    for _ in range(repeats):
+        with Timer() as t:
+            fn()
+        result.times.append(t.elapsed)
+    return result
+
+
+def compare_kernels(name: str, ref_fn, new_fn, *, repeats: int = 5,
+                    warmup: int = 1) -> dict:
+    """Time a reference and an optimised implementation of one kernel.
+
+    Returns a JSON-ready dict with both medians and the speedup
+    (``ref median / new median``; > 1 means the new kernel is faster).
+    The two legs are interleaved nowhere — each runs its warmup and
+    repeats as one block — because the kernels here are long enough
+    (milliseconds) that cache pollution between legs is noise.
+    """
+    ref = time_kernel(f"{name}[ref]", ref_fn, repeats=repeats, warmup=warmup)
+    new = time_kernel(f"{name}[new]", new_fn, repeats=repeats, warmup=warmup)
+    return {
+        "name": name,
+        "ref_median_s": ref.median_s,
+        "new_median_s": new.median_s,
+        "speedup": ref.median_s / new.median_s if new.median_s > 0
+        else float("inf"),
+        "ref": ref.as_dict(),
+        "new": new.as_dict(),
+    }

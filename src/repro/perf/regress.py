@@ -1,0 +1,45 @@
+"""The kernel-regression report: ``BENCH_kernels.json``.
+
+One JSON document per bench run, holding a ``meta`` block (problem
+size, library versions) and a ``kernels`` map of timing entries — the
+dicts produced by :func:`repro.perf.bench.time_kernel` /
+:func:`repro.perf.bench.compare_kernels`.  Committing the file (or
+diffing it in CI) turns the microbenchmarks into a regression tripwire:
+a kernel that silently falls back to a slow path shows up as a ratio
+change between two reports.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = ["write_report", "load_report"]
+
+SCHEMA_VERSION = 1
+
+
+def write_report(path, kernels: dict, meta: dict | None = None) -> pathlib.Path:
+    """Write the report; returns the path written.
+
+    ``kernels`` maps kernel name -> timing dict; ``meta`` is free-form
+    (mesh size, dtype, versions).  Keys are sorted so reports diff
+    cleanly.
+    """
+    path = pathlib.Path(path)
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "kernels": {k: kernels[k] for k in sorted(kernels)},
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path) -> dict:
+    """Read a report back (raises on schema mismatch)."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported bench report schema: {doc.get('schema_version')!r}")
+    return doc

@@ -1,0 +1,57 @@
+"""Monotonic timing primitives.
+
+Everything here measures wall clock with :func:`time.perf_counter`
+(monotonic, highest available resolution) and aggregates with the
+median: on a shared machine the timing distribution is right-skewed by
+scheduler noise, so the median is the honest "typical run" — the same
+reasoning the paper applies when it reports per-iteration costs.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer", "median"]
+
+
+class Timer:
+    """Context manager measuring one wall-clock interval.
+
+    >>> with Timer() as t:
+    ...     work()
+    >>> t.elapsed   # seconds
+
+    Re-entering restarts the measurement; ``elapsed`` holds the most
+    recent interval (and reads the running clock while inside the
+    ``with`` block, so it can be polled for progress cut-offs).
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._stop: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._stop = None
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        if self._start is None:
+            return 0.0
+        end = self._stop if self._stop is not None else time.perf_counter()
+        return end - self._start
+
+
+def median(values) -> float:
+    """Median of a sequence of floats (no numpy needed for 5 numbers)."""
+    xs = sorted(float(v) for v in values)
+    if not xs:
+        raise ValueError("median of empty sequence")
+    mid = len(xs) // 2
+    if len(xs) % 2:
+        return xs[mid]
+    return 0.5 * (xs[mid - 1] + xs[mid])

@@ -78,7 +78,13 @@ class AdditiveSchwarz:
 
     # -- setup ----------------------------------------------------------
     def setup(self, a: CSRMatrix | BSRMatrix) -> "AdditiveSchwarz":
-        """Extract and factor every (overlapped) subdomain of ``a``."""
+        """Extract and factor every (overlapped) subdomain of ``a``.
+
+        Calling ``setup`` again on the same instance assumes ``a`` has
+        the sparsity of the previous matrix (the Newton-refresh case):
+        the partition, overlap expansion, and symbolic ILU are reused
+        and only the numeric factorisation is redone.
+        """
         if isinstance(a, BSRMatrix):
             nbrows = a.nbrows
             self._bs = a.bs
@@ -87,6 +93,13 @@ class AdditiveSchwarz:
             self._bs = 1
         if nbrows != self._n:
             raise ValueError("label count does not match matrix rows")
+        if self.subdomains:
+            # Refresh path (same sparsity, new Jacobian values): keep the
+            # subdomain index sets and symbolic ILU patterns — and with
+            # them the compiled elimination schedules — and redo only
+            # the numeric factorisation.
+            self.subdomains = [sd.refactor(a) for sd in self.subdomains]
+            return self
         graph = self._graph
         if graph is None:
             graph = graph_from_csr(a.indptr, a.indices)
@@ -118,7 +131,9 @@ class AdditiveSchwarz:
             if restricted:
                 zb[sd.rows[sd.owned]] += local[sd.owned]
             else:
-                np.add.at(zb, sd.rows, local)
+                # sd.rows is sorted unique, so a plain fancy-indexed
+                # add is exact (and much faster than np.add.at).
+                zb[sd.rows] += local
         return zb.ravel()
 
     # -- accounting ------------------------------------------------------

@@ -8,7 +8,8 @@ import numpy as np
 
 from repro.sparse.bsr import BSRMatrix
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ilu import ILUFactorBSR, ILUFactorCSR, ilu_bsr, ilu_csr
+from repro.sparse.ilu import (ILUFactorBSR, ILUFactorCSR, ILUPattern,
+                              ilu_bsr, ilu_csr)
 
 __all__ = ["SubdomainSolver"]
 
@@ -32,15 +33,34 @@ class SubdomainSolver:
     @classmethod
     def build(cls, a: CSRMatrix | BSRMatrix, rows: np.ndarray,
               owned: np.ndarray, fill_level: int,
-              storage_dtype=np.float64) -> "SubdomainSolver":
+              storage_dtype=np.float64,
+              pattern: ILUPattern | None = None) -> "SubdomainSolver":
+        """Extract the overlapped submatrix of ``a`` and factor it.
+
+        ``pattern`` is the symbolic ILU(k) pattern from a previous
+        factorisation of the *same* submatrix sparsity (the Jacobian
+        structure is fixed across Newton refreshes); passing it skips
+        the symbolic phase and reuses the compiled elimination
+        schedule cached on it.
+        """
         rows = np.asarray(rows, dtype=np.int64)
         sub = a.submatrix(rows)
         if isinstance(a, BSRMatrix):
-            factor = ilu_bsr(sub, fill_level, storage_dtype=storage_dtype)
+            factor = ilu_bsr(sub, fill_level, pattern=pattern,
+                             storage_dtype=storage_dtype)
         else:
-            factor = ilu_csr(sub, fill_level, storage_dtype=storage_dtype)
+            factor = ilu_csr(sub, fill_level, pattern=pattern,
+                             storage_dtype=storage_dtype)
         return cls(rows=rows, owned=np.asarray(owned, dtype=bool),
                    factor=factor, fill_level=fill_level)
+
+    def refactor(self, a: CSRMatrix | BSRMatrix) -> "SubdomainSolver":
+        """Numeric-only refactorisation for a matrix with the same
+        sparsity: reuses this subdomain's rows, ownership flags, and
+        symbolic pattern (hence its elimination schedule)."""
+        return self.build(a, self.rows, self.owned, self.fill_level,
+                          storage_dtype=self.factor.l_data.dtype,
+                          pattern=self.factor.pattern)
 
     @property
     def num_rows(self) -> int:

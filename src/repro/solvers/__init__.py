@@ -13,6 +13,8 @@
 from repro.solvers.krylov_base import LinearOperator, as_operator, OperatorFromMatrix
 from repro.solvers.gmres import gmres, GMRESResult, Orthogonalization
 from repro.solvers.fgmres import fgmres
+from repro.solvers.workspace import KrylovWorkspace, solve_dtype
+from repro.solvers._reference import gmres_ref
 from repro.solvers.newton import newton_solve, NewtonResult
 from repro.solvers.ptc import SERController, PTCConfig
 
@@ -22,6 +24,9 @@ __all__ = [
     "OperatorFromMatrix",
     "gmres",
     "fgmres",
+    "gmres_ref",
+    "KrylovWorkspace",
+    "solve_dtype",
     "GMRESResult",
     "Orthogonalization",
     "newton_solve",

@@ -1,28 +1,21 @@
-"""Flexible GMRES (FGMRES).
+"""Pre-workspace GMRES, kept verbatim as a semantics/perf baseline.
 
-Right-preconditioned GMRES that stores the preconditioned vectors
-``Z_k = M_k^{-1} V_k`` explicitly, so the preconditioner may change
-between iterations — the price is one extra stored vector per
-iteration.  This is the standard tool when the subdomain solves are
-themselves iterative (inexact Schwarz), one of the "quality of
-subdomain solver: number of sweeps" knobs in the paper's Sec. 2.4
-parameter list.  For a fixed (linear) preconditioner it reproduces
-plain right-preconditioned GMRES.
-
-Like :func:`repro.solvers.gmres.gmres` it runs out of a reusable
-:class:`~repro.solvers.workspace.KrylovWorkspace` (with the extra Z
-block) and honours the right-hand side's dtype.
+:func:`gmres_ref` is the restarted right-preconditioned GMRES exactly
+as it stood before the :class:`repro.solvers.workspace.KrylovWorkspace`
+refactor: every restart allocates (and zeroes) a fresh Krylov basis and
+Hessenberg, and all arithmetic is hardwired to float64.  It is the
+oracle the property tests compare :func:`repro.solvers.gmres.gmres`
+against, and the baseline leg of the kernel-regression bench.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.solvers.gmres import GMRESResult, Orthogonalization, _back_substitute
+from repro.solvers.gmres import GMRESResult, Orthogonalization
 from repro.solvers.krylov_base import as_operator
-from repro.solvers.workspace import KrylovWorkspace, solve_dtype
 
-__all__ = ["fgmres"]
+__all__ = ["gmres_ref"]
 
 
 class _IdentityPC:
@@ -30,28 +23,17 @@ class _IdentityPC:
         return r
 
 
-def fgmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
-           rtol: float = 1e-5, atol: float = 1e-50, restart: int = 20,
-           maxiter: int = 200,
-           orthog: Orthogonalization | str = Orthogonalization.MGS,
-           workspace: KrylovWorkspace | None = None
-           ) -> GMRESResult:
-    """Solve ``a x = b`` with flexible restarted GMRES.
-
-    Same interface as :func:`repro.solvers.gmres.gmres`; ``M.solve``
-    may be a *different* operator on every call (e.g. an inner Krylov
-    iteration).  A passed ``workspace`` is resized in place if needed
-    and gains the Z block on first flexible use.
-    """
+def gmres_ref(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
+              rtol: float = 1e-5, atol: float = 1e-50, restart: int = 20,
+              maxiter: int = 200,
+              orthog: Orthogonalization | str = Orthogonalization.MGS
+              ) -> GMRESResult:
+    """Solve ``a x = b`` with the pre-workspace restarted GMRES."""
     op = as_operator(a, n=b.size)
     pc = M if M is not None else _IdentityPC()
     orthog = Orthogonalization(orthog)
     n = b.size
-    dtype = solve_dtype(b.dtype)
-    ws = workspace if workspace is not None else KrylovWorkspace()
-    ws.ensure(n, restart, dtype=dtype, flexible=True)
-    x = (np.zeros(n, dtype=dtype) if x0 is None
-         else np.array(x0, dtype=dtype))
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
     bnorm = float(np.linalg.norm(b))
     target = max(rtol * bnorm, atol)
@@ -74,28 +56,26 @@ def fgmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                                precond_applies=pc_applies)
 
         m = min(restart, maxiter - total_its)
-        ws.reset()
-        V = ws.V[: m + 1]
-        Z = ws.Z[:m]
-        H = ws.H[: m + 1, :m]
-        cs = ws.cs[:m]
-        sn = ws.sn[:m]
-        g = ws.g[: m + 1]
+        V = np.zeros((m + 1, n))
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
         V[0] = r / beta
         g[0] = beta
         k_done = 0
         breakdown = False
 
         for k in range(m):
-            Z[k] = pc.solve(V[k])
+            z = pc.solve(V[k])
             pc_applies += 1
-            w = op.matvec(Z[k])
+            w = op.matvec(z)
             matvecs += 1
             if orthog is Orthogonalization.MGS:
                 for j in range(k + 1):
                     H[j, k] = float(V[j] @ w)
                     w -= H[j, k] * V[j]
-            else:
+            else:  # classical Gram-Schmidt with one reorthogonalisation
                 h = V[: k + 1] @ w
                 w = w - V[: k + 1].T @ h
                 h2 = V[: k + 1] @ w
@@ -103,6 +83,7 @@ def fgmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                 H[: k + 1, k] = h + h2
             hnext = float(np.linalg.norm(w))
             H[k + 1, k] = hnext
+            # Apply accumulated Givens rotations to the new column.
             for j in range(k):
                 t = cs[j] * H[j, k] + sn[j] * H[j + 1, k]
                 H[j + 1, k] = -sn[j] * H[j, k] + cs[j] * H[j + 1, k]
@@ -121,17 +102,19 @@ def fgmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             total_its += 1
             k_done = k + 1
             resnorms.append(abs(float(g[k + 1])))
-            if hnext <= 1e-14 * beta:
+            if hnext <= 1e-14 * beta:   # happy breakdown: exact solution
                 breakdown = True
                 break
             V[k + 1] = w / hnext
             if abs(g[k + 1]) <= target:
                 break
 
+        # Solve the small triangular system and update x.
         if k_done > 0:
-            y = _back_substitute(H, g, k_done)
-            # Flexibility: x += Z y (the stored preconditioned basis).
-            x = x + Z[:k_done].T @ y
+            y = _back_substitute_ref(H, g, k_done)
+            update = V[:k_done].T @ y
+            x = x + pc.solve(update)
+            pc_applies += 1
         restarts += 1
         if breakdown:
             r = b - op.matvec(x)
@@ -142,3 +125,10 @@ def fgmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                                iterations=total_its, restarts=restarts,
                                residual_norms=resnorms, matvecs=matvecs,
                                precond_applies=pc_applies)
+
+
+def _back_substitute_ref(H: np.ndarray, g: np.ndarray, k: int) -> np.ndarray:
+    y = np.zeros(k)
+    for i in range(k - 1, -1, -1):
+        y[i] = (g[i] - H[i, i + 1 : k] @ y[i + 1 : k]) / H[i, i]
+    return y

@@ -10,7 +10,11 @@ Table 4).  Design choices mirror PETSc-FUN3D usage:
   vectorises into two dense gemvs but needs one extra reduction pass
   for stability, vs. modified Gram-Schmidt) — one of the paper's
   "Krylov parameters" (Sec. 2.4.2);
-* restart dimension and total-iteration cap as first-class knobs.
+* restart dimension and total-iteration cap as first-class knobs;
+* a reusable :class:`~repro.solvers.workspace.KrylovWorkspace` so the
+  basis/Hessenberg arrays are allocated once per solver lifetime, not
+  once per restart, and the working precision follows the right-hand
+  side (float32 in, float32 basis — the Sec. 3.2 precision knob).
 
 The recurrence monitors the Givens-rotation residual estimate, which
 for right preconditioning equals the true unpreconditioned residual
@@ -25,6 +29,7 @@ from enum import Enum
 import numpy as np
 
 from repro.solvers.krylov_base import LinearOperator, as_operator
+from repro.solvers.workspace import KrylovWorkspace, solve_dtype
 
 __all__ = ["gmres", "GMRESResult", "Orthogonalization"]
 
@@ -57,7 +62,8 @@ class _IdentityPC:
 def gmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
           rtol: float = 1e-5, atol: float = 1e-50, restart: int = 20,
           maxiter: int = 200,
-          orthog: Orthogonalization | str = Orthogonalization.MGS) -> GMRESResult:
+          orthog: Orthogonalization | str = Orthogonalization.MGS,
+          workspace: KrylovWorkspace | None = None) -> GMRESResult:
     """Solve ``a x = b`` with restarted, right-preconditioned GMRES.
 
     Parameters
@@ -73,12 +79,24 @@ def gmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         Krylov subspace dimension between restarts (GMRES(m)).
     maxiter:
         Cap on total inner iterations across all restarts.
+    workspace:
+        Preallocated arrays to (re)use; resized in place if they do not
+        match ``(b.size, restart, dtype)``.  Passing the same workspace
+        across calls (the driver does, one per Newton solve) removes all
+        per-restart allocation.  The iterates are identical either way.
+
+    The working precision is taken from ``b``: a float32 right-hand
+    side runs the basis, Hessenberg, and solution update in float32.
     """
     op = as_operator(a, n=b.size)
     pc = M if M is not None else _IdentityPC()
     orthog = Orthogonalization(orthog)
     n = b.size
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    dtype = solve_dtype(b.dtype)
+    ws = workspace if workspace is not None else KrylovWorkspace()
+    ws.ensure(n, restart, dtype=dtype)
+    x = (np.zeros(n, dtype=dtype) if x0 is None
+         else np.array(x0, dtype=dtype))
 
     bnorm = float(np.linalg.norm(b))
     target = max(rtol * bnorm, atol)
@@ -101,11 +119,12 @@ def gmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                                precond_applies=pc_applies)
 
         m = min(restart, maxiter - total_its)
-        V = np.zeros((m + 1, n))
-        H = np.zeros((m + 1, m))
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        g = np.zeros(m + 1)
+        ws.reset()
+        V = ws.V[: m + 1]
+        H = ws.H[: m + 1, :m]
+        cs = ws.cs[:m]
+        sn = ws.sn[:m]
+        g = ws.g[: m + 1]
         V[0] = r / beta
         g[0] = beta
         k_done = 0
@@ -161,7 +180,7 @@ def gmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             # Right preconditioning: x += M^{-1} (V y).  Applying M^{-1}
             # to the combination (rather than storing Z = M^{-1}V) is
             # valid because our preconditioners are linear operators.
-            x = x + pc.solve(update)
+            x = x + pc.solve(update).astype(dtype, copy=False)
             pc_applies += 1
         restarts += 1
         if breakdown:
@@ -176,7 +195,7 @@ def gmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
 
 
 def _back_substitute(H: np.ndarray, g: np.ndarray, k: int) -> np.ndarray:
-    y = np.zeros(k)
+    y = np.zeros(k, dtype=H.dtype)
     for i in range(k - 1, -1, -1):
         y[i] = (g[i] - H[i, i + 1 : k] @ y[i + 1 : k]) / H[i, i]
     return y

@@ -25,7 +25,9 @@ from repro.sparse.spmv import (
     spmv_bsr_numpy,
     spmv_cost,
 )
-from repro.sparse.ilu import ilu_symbolic, ILUFactorCSR, ILUFactorBSR, ilu_csr, ilu_bsr
+from repro.sparse.ilu import (ilu_symbolic, ILUFactorCSR, ILUFactorBSR,
+                              ilu_csr, ilu_bsr, ilu_csr_ref, ilu_bsr_ref,
+                              EliminationSchedule, compile_elimination_schedule)
 from repro.sparse.trisolve import level_schedule
 from repro.sparse.precision import StoragePrecision
 
@@ -44,6 +46,10 @@ __all__ = [
     "ilu_symbolic",
     "ilu_csr",
     "ilu_bsr",
+    "ilu_csr_ref",
+    "ilu_bsr_ref",
+    "EliminationSchedule",
+    "compile_elimination_schedule",
     "ILUFactorCSR",
     "ILUFactorBSR",
     "level_schedule",

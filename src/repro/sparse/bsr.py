@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.segsum import segment_sum
 
 __all__ = ["BSRMatrix"]
 
@@ -56,6 +57,17 @@ class BSRMatrix:
     def nnzb(self) -> int:
         return int(self.indices.size)
 
+    @property
+    def row_of(self) -> np.ndarray:
+        """Block-row index of every stored block, cached (the block
+        structure is immutable; only ``data`` changes)."""
+        cached = self.__dict__.get("_row_of")
+        if cached is None:
+            cached = np.repeat(np.arange(self.nbrows, dtype=np.int64),
+                               np.diff(self.indptr))
+            self.__dict__["_row_of"] = cached
+        return cached
+
     # ------------------------------------------------------------------
     @classmethod
     def from_block_coo(cls, brows: np.ndarray, bcols: np.ndarray,
@@ -87,25 +99,20 @@ class BSRMatrix:
         xb = np.asarray(x).reshape(self.nbcols, bs)
         # (nnzb, bs) products of each block with its x block.
         prods = np.einsum("kij,kj->ki", self.data, xb[self.indices])
-        yb = np.zeros((self.nbrows, bs), dtype=np.result_type(self.data, x))
-        row_of = np.repeat(np.arange(self.nbrows, dtype=np.int64),
-                           np.diff(self.indptr))
-        np.add.at(yb, row_of, prods)
-        return yb.ravel()
+        yb = segment_sum(self.row_of, prods, self.nbrows)
+        return yb.ravel().astype(np.result_type(self.data, x), copy=False)
 
     def diag_blocks(self) -> np.ndarray:
         """The (nbrows, bs, bs) diagonal blocks (zeros where absent)."""
         out = np.zeros((self.nbrows, self.bs, self.bs))
-        row_of = np.repeat(np.arange(self.nbrows, dtype=np.int64),
-                           np.diff(self.indptr))
+        row_of = self.row_of
         mask = row_of == self.indices
         out[row_of[mask]] = self.data[mask]
         return out
 
     def add_block_diagonal(self, dblocks: np.ndarray) -> "BSRMatrix":
         """Return A + blockdiag(dblocks); diagonal blocks must exist."""
-        row_of = np.repeat(np.arange(self.nbrows, dtype=np.int64),
-                           np.diff(self.indptr))
+        row_of = self.row_of
         mask = row_of == self.indices
         if int(mask.sum()) != self.nbrows:
             raise ValueError("block diagonal is not fully present")
@@ -117,8 +124,7 @@ class BSRMatrix:
     def to_csr(self) -> CSRMatrix:
         """Expand to point CSR in the interlaced (point-block) ordering."""
         bs = self.bs
-        row_of = np.repeat(np.arange(self.nbrows, dtype=np.int64),
-                           np.diff(self.indptr))
+        row_of = self.row_of
         # Each block (I, J) contributes points (I*bs+i, J*bs+j).
         i_loc, j_loc = np.meshgrid(np.arange(bs), np.arange(bs), indexing="ij")
         rows = (row_of[:, None, None] * bs + i_loc[None]).ravel()
@@ -131,8 +137,7 @@ class BSRMatrix:
         brows = np.asarray(brows, dtype=np.int64)
         local = np.full(self.nbcols, -1, dtype=np.int64)
         local[brows] = np.arange(brows.size, dtype=np.int64)
-        row_of = np.repeat(np.arange(self.nbrows, dtype=np.int64),
-                           np.diff(self.indptr))
+        row_of = self.row_of
         keep = (local[row_of] >= 0) & (local[self.indices] >= 0)
         return BSRMatrix.from_block_coo(local[row_of[keep]],
                                         local[self.indices[keep]],
@@ -144,8 +149,7 @@ class BSRMatrix:
         perm = np.asarray(perm, dtype=np.int64)
         inv = np.empty(perm.size, dtype=np.int64)
         inv[perm] = np.arange(perm.size, dtype=np.int64)
-        row_of = np.repeat(np.arange(self.nbrows, dtype=np.int64),
-                           np.diff(self.indptr))
+        row_of = self.row_of
         return BSRMatrix.from_block_coo(inv[row_of], inv[self.indices],
                                         self.data, (self.nbrows, self.nbcols))
 

@@ -6,6 +6,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sparse.segsum import segment_sum
+
 __all__ = ["CSRMatrix"]
 
 
@@ -48,6 +50,17 @@ class CSRMatrix:
         s, e = self.indptr[i], self.indptr[i + 1]
         return self.indices[s:e], self.data[s:e]
 
+    @property
+    def row_of(self) -> np.ndarray:
+        """Row index of every stored entry, cached (the structure is
+        immutable, only ``data`` changes between Jacobian refreshes)."""
+        cached = self.__dict__.get("_row_of")
+        if cached is None:
+            cached = np.repeat(np.arange(self.nrows, dtype=np.int64),
+                               np.diff(self.indptr))
+            self.__dict__["_row_of"] = cached
+        return cached
+
     # ------------------------------------------------------------------
     @classmethod
     def from_coo(cls, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray,
@@ -83,41 +96,33 @@ class CSRMatrix:
 
     # ------------------------------------------------------------------
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """y = A @ x via gather + segmented reduction."""
+        """y = A @ x via gather + segmented reduction (bincount handles
+        empty rows, unlike reduceat)."""
         x = np.asarray(x)
         prods = self.data * x[self.indices]
-        y = np.zeros(self.nrows, dtype=np.result_type(self.data, x))
-        # reduceat mishandles empty rows; use bincount-style scatter-add,
-        # which is robust and still vectorised.
-        row_of = np.repeat(np.arange(self.nrows, dtype=np.int64),
-                           np.diff(self.indptr))
-        np.add.at(y, row_of, prods)
-        return y
+        y = segment_sum(self.row_of, prods, self.nrows)
+        return y.astype(np.result_type(self.data, x), copy=False)
 
     def to_dense(self) -> np.ndarray:
         out = np.zeros(self.shape)
-        row_of = np.repeat(np.arange(self.nrows, dtype=np.int64),
-                           np.diff(self.indptr))
+        row_of = self.row_of
         out[row_of, self.indices] = self.data
         return out
 
     def diagonal(self) -> np.ndarray:
         d = np.zeros(min(self.shape))
-        row_of = np.repeat(np.arange(self.nrows, dtype=np.int64),
-                           np.diff(self.indptr))
+        row_of = self.row_of
         mask = row_of == self.indices
         d[row_of[mask]] = self.data[mask]
         return d
 
     def transpose(self) -> "CSRMatrix":
-        row_of = np.repeat(np.arange(self.nrows, dtype=np.int64),
-                           np.diff(self.indptr))
+        row_of = self.row_of
         return CSRMatrix.from_coo(self.indices, row_of, self.data,
                                   (self.ncols, self.nrows))
 
     def scale_rows(self, s: np.ndarray) -> "CSRMatrix":
-        row_of = np.repeat(np.arange(self.nrows, dtype=np.int64),
-                           np.diff(self.indptr))
+        row_of = self.row_of
         return CSRMatrix(indptr=self.indptr, indices=self.indices,
                          data=self.data * np.asarray(s)[row_of],
                          ncols=self.ncols)
@@ -125,8 +130,7 @@ class CSRMatrix:
     def add_diagonal(self, d: np.ndarray) -> "CSRMatrix":
         """Return A + diag(d); requires the diagonal already structurally
         present (true for all our PDE Jacobians)."""
-        row_of = np.repeat(np.arange(self.nrows, dtype=np.int64),
-                           np.diff(self.indptr))
+        row_of = self.row_of
         mask = row_of == self.indices
         if int(mask.sum()) != min(self.shape):
             raise ValueError("diagonal is not fully present structurally")
@@ -140,8 +144,7 @@ class CSRMatrix:
         perm = np.asarray(perm, dtype=np.int64)
         inv = np.empty(perm.size, dtype=np.int64)
         inv[perm] = np.arange(perm.size, dtype=np.int64)
-        row_of = np.repeat(np.arange(self.nrows, dtype=np.int64),
-                           np.diff(self.indptr))
+        row_of = self.row_of
         return CSRMatrix.from_coo(inv[row_of], inv[self.indices], self.data,
                                   self.shape)
 
@@ -150,8 +153,7 @@ class CSRMatrix:
         rows = np.asarray(rows, dtype=np.int64)
         local = np.full(self.ncols, -1, dtype=np.int64)
         local[rows] = np.arange(rows.size, dtype=np.int64)
-        counts = np.diff(self.indptr)
-        row_of = np.repeat(np.arange(self.nrows, dtype=np.int64), counts)
+        row_of = self.row_of
         keep = (local[row_of] >= 0) & (local[self.indices] >= 0)
         return CSRMatrix.from_coo(local[row_of[keep]],
                                   local[self.indices[keep]],

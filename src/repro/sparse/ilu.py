@@ -6,6 +6,18 @@ computes the level-of-fill pattern once per sparsity; the numeric
 phase refactors on that fixed pattern each time the Jacobian is
 refreshed — exactly PETSc's split.
 
+The numeric phase is *schedule driven*: the symbolic pattern is
+compiled once into an :class:`EliminationSchedule` — flattened
+gather/scatter index arrays grouped by row-dependency level (the same
+levels that drive the triangular solves) — after which every
+refactorisation is pure batched numpy: one scatter of A's values into
+the working layout, then per elimination step a batched divide (or
+block GEMM against the pivot inverses) and one fancy-indexed update.
+The schedule is cached on the pattern, so repeated Jacobian refreshes
+pay only the array arithmetic.  The original row-by-row loops are kept
+as :func:`ilu_csr_ref` / :func:`ilu_bsr_ref` — the semantics oracle
+for tests and the baseline for the kernel-regression bench.
+
 Level-of-fill rule: original entries have level 0; a fill entry
 created by eliminating column k in row i via u_kj gets level
 ``lev(i,k) + lev(k,j) + 1`` and is kept iff its level <= k_fill.
@@ -21,6 +33,7 @@ import numpy as np
 from repro.sparse.bsr import BSRMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.trisolve import (
+    _ranges,
     level_schedule,
     lower_solve_blocks,
     lower_solve_csr,
@@ -29,7 +42,8 @@ from repro.sparse.trisolve import (
 )
 
 __all__ = ["ILUPattern", "ilu_symbolic", "ILUFactorCSR", "ILUFactorBSR",
-           "ilu_csr", "ilu_bsr"]
+           "ilu_csr", "ilu_bsr", "ilu_csr_ref", "ilu_bsr_ref",
+           "EliminationSchedule", "compile_elimination_schedule"]
 
 
 @dataclass
@@ -129,6 +143,210 @@ def ilu_symbolic(indptr: np.ndarray, indices: np.ndarray,
 
 
 # ----------------------------------------------------------------------
+# Elimination schedule: the one-time compilation of the pattern's
+# irregular index work into flat gather/scatter arrays.
+# ----------------------------------------------------------------------
+
+@dataclass
+class EliminationStep:
+    """One wavefront stage: every single-entry elimination whose
+    dependencies are complete runs in the same batch.
+
+    An elimination ``(i, t)`` — clearing row ``i``'s ``t``-th lower
+    entry against pivot row ``k`` — depends on ``(i, t-1)`` (its slot
+    must hold all earlier updates before the division) and on pivot
+    row ``k`` being fully factored.  Scheduling by that DAG's wavefronts
+    packs eliminations from *different* dependency levels into one
+    batch, so the sequential stage count is the critical-path length
+    rather than ``sum over levels of max lower count`` — an order of
+    magnitude fewer, and correspondingly larger, batches.
+
+    Indices address the flat working array ``w`` of a refactorisation,
+    laid out ``[L entries | diagonal | U entries]`` in pattern order.
+    Updates only touch slots of the row being eliminated and each row
+    runs at most one elimination per stage, so ``dst`` is unique within
+    a stage and a plain fancy-indexed subtract is exact.
+    """
+
+    lpos: np.ndarray        # w-indices (== l_data slots) of the multipliers
+    piv: np.ndarray         # pivot row k per elimination
+    dst: np.ndarray         # w-indices receiving updates (unique per stage)
+    src: np.ndarray         # u-entry index of the coefficient u_kj per update
+    rep: np.ndarray         # elimination position each update belongs to
+    check_rows: np.ndarray  # rows whose factorisation completes here
+
+
+@dataclass
+class EliminationSchedule:
+    """Precompiled numeric-factorisation plan for one (pattern, A) pair.
+
+    ``a_src``/``a_dst`` scatter A's stored values into the working
+    layout; ``stages`` hold the batched elimination wavefronts (with
+    ``pre_check`` the rows that are final before any elimination);
+    ``l_solve``/``u_solve`` are the cached triangular-solve level
+    schedules (previously recomputed on every refactorisation).
+    """
+
+    n: int
+    nnzl: int
+    nnzu: int
+    a_src: np.ndarray
+    a_dst: np.ndarray
+    stages: list[EliminationStep]
+    pre_check: np.ndarray
+    l_solve: list[np.ndarray]
+    u_solve: list[np.ndarray]
+    _a_indptr: np.ndarray
+    _a_indices: np.ndarray
+
+    @property
+    def off_diag(self) -> int:
+        return self.nnzl
+
+    @property
+    def off_upper(self) -> int:
+        return self.nnzl + self.n
+
+    def matches(self, a_indptr: np.ndarray, a_indices: np.ndarray) -> bool:
+        """Cheap structural-identity check for cache reuse."""
+        if self._a_indptr is a_indptr and self._a_indices is a_indices:
+            return True
+        return (self._a_indices.size == a_indices.size
+                and np.array_equal(self._a_indptr, a_indptr)
+                and np.array_equal(self._a_indices, a_indices))
+
+
+def compile_elimination_schedule(pattern: ILUPattern, a_indptr: np.ndarray,
+                                 a_indices: np.ndarray) -> EliminationSchedule:
+    """Compile ``pattern`` into batched index arrays for matrices with
+    the sparsity ``(a_indptr, a_indices)``."""
+    n = pattern.n
+    l_iptr, l_idx = pattern.l_indptr, pattern.l_indices
+    u_iptr, u_idx = pattern.u_indptr, pattern.u_indices
+    nnzl, nnzu = l_idx.size, u_idx.size
+    off_d, off_u = nnzl, nnzl + n
+    a_indptr = np.asarray(a_indptr, dtype=np.int64)
+    a_indices = np.asarray(a_indices, dtype=np.int64)
+    ucounts = np.diff(u_iptr)
+
+    # --- flat per-row pass: A-scatter map + update targets ------------
+    # One scatter table per row (column -> w slot, like the reference
+    # row loop keeps) resolves every update-candidate target with a
+    # direct gather — O(1) per candidate, where a sorted-key binary
+    # search was ~20x slower on large patterns.
+    pos = np.full(n, -1, dtype=np.int64)
+    a_src_parts: list[np.ndarray] = []
+    a_dst_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    src_parts: list[np.ndarray] = []
+    kc = np.zeros(nnzl, dtype=np.int64)      # kept updates per elimination
+    for i in range(n):
+        ls, le = int(l_iptr[i]), int(l_iptr[i + 1])
+        us, ue = int(u_iptr[i]), int(u_iptr[i + 1])
+        lc = l_idx[ls:le]
+        uc = u_idx[us:ue]
+        pos[lc] = np.arange(ls, le, dtype=np.int64)
+        pos[i] = off_d + i
+        pos[uc] = off_u + np.arange(us, ue, dtype=np.int64)
+        s, e = int(a_indptr[i]), int(a_indptr[i + 1])
+        slots = pos[a_indices[s:e]]
+        ok = slots >= 0                      # pattern ⊇ A: keeps everything
+        a_src_parts.append(np.flatnonzero(ok) + s)
+        a_dst_parts.append(slots[ok])
+        if le > ls:
+            cnt = ucounts[lc]
+            src = _ranges(u_iptr[lc], cnt)
+            dstc = pos[u_idx[src]]
+            keep = dstc >= 0                 # dropped fill, exactly ILU's rule
+            dst_parts.append(dstc[keep])
+            src_parts.append(src[keep])
+            rep = np.repeat(np.arange(le - ls, dtype=np.int64), cnt)
+            kc[ls:le] = np.bincount(rep[keep], minlength=le - ls)
+        pos[lc] = -1
+        pos[i] = -1
+        pos[uc] = -1
+    empty = np.empty(0, dtype=np.int64)
+    a_src = np.concatenate(a_src_parts) if a_src_parts else empty
+    a_dst = np.concatenate(a_dst_parts) if a_dst_parts else empty
+    dst_csr = np.concatenate(dst_parts) if dst_parts else empty
+    src_csr = np.concatenate(src_parts) if src_parts else empty
+    uoff = np.zeros(nnzl + 1, dtype=np.int64)
+    np.cumsum(kc, out=uoff[1:])
+
+    # --- wavefront stage assignment -----------------------------------
+    # stage(i, t) = max(stage(i, t-1), finish(pivot)) + 1, i.e. the
+    # earliest batch in which both the running within-row update chain
+    # and the pivot row are complete.  Unrolled per row this is a
+    # running max, so each row is one vectorised accumulate; rows are
+    # visited in index order, which is a topological order because
+    # every pivot has a smaller index.
+    stage_of = np.empty(nnzl, dtype=np.int64)
+    finish = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        s, e = int(l_iptr[i]), int(l_iptr[i + 1])
+        if s == e:
+            continue
+        t = np.arange(e - s, dtype=np.int64)
+        stage_of[s:e] = np.maximum.accumulate(finish[l_idx[s:e]] - t) + t + 1
+        finish[i] = stage_of[e - 1]
+
+    checks: dict[int, np.ndarray] = {}
+    if n:
+        forder = np.argsort(finish, kind="stable")
+        fsorted = finish[forder]
+        checks = {int(fsorted[g[0]]): forder[g].astype(np.int64)
+                  for g in np.split(np.arange(n),
+                                    np.flatnonzero(np.diff(fsorted)) + 1)}
+
+    # Eliminations are grouped by stage; each stage gathers its update
+    # index lists from the CSR-order flat arrays built above, so per-
+    # stage work is O(stage size), never O(pattern size).
+    stages: list[EliminationStep] = []
+    if nnzl:
+        order = np.argsort(stage_of, kind="stable")  # ties keep CSR order
+        sorted_st = stage_of[order]
+        estarts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(sorted_st)) + 1, [nnzl]))
+        for gi in range(estarts.size - 1):
+            e0, e1 = int(estarts[gi]), int(estarts[gi + 1])
+            elims = order[e0:e1]
+            kci = kc[elims]
+            idx = _ranges(uoff[elims], kci)
+            stages.append(EliminationStep(
+                lpos=elims, piv=l_idx[elims],
+                dst=dst_csr[idx], src=src_csr[idx],
+                rep=np.repeat(np.arange(e1 - e0, dtype=np.int64), kci),
+                check_rows=checks.get(int(sorted_st[e0]), empty)))
+
+    return EliminationSchedule(
+        n=n, nnzl=nnzl, nnzu=nnzu, a_src=a_src, a_dst=a_dst, stages=stages,
+        pre_check=checks.get(0, empty),
+        l_solve=level_schedule(l_iptr, l_idx),
+        u_solve=level_schedule(u_iptr, u_idx, reverse=True),
+        _a_indptr=a_indptr, _a_indices=a_indices)
+
+
+def _check_pivots(w: np.ndarray, off_d: int, rows: np.ndarray) -> None:
+    """Raise on a zero diagonal among ``rows`` (all final in ``w``)."""
+    if not rows.size:
+        return
+    d = w[off_d + rows]
+    if np.any(d == 0.0):
+        bad = int(rows[np.flatnonzero(d == 0.0)[0]])
+        raise ZeroDivisionError(f"zero pivot in ILU at row {bad}")
+
+
+def _schedule_for(pattern: ILUPattern, a_indptr: np.ndarray,
+                  a_indices: np.ndarray) -> EliminationSchedule:
+    """The pattern's cached schedule, (re)compiled on structure change."""
+    cached: EliminationSchedule | None = getattr(pattern, "_schedule", None)
+    if cached is None or not cached.matches(a_indptr, a_indices):
+        cached = compile_elimination_schedule(pattern, a_indptr, a_indices)
+        pattern._schedule = cached  # type: ignore[attr-defined]
+    return cached
+
+
+# ----------------------------------------------------------------------
 # Scalar numeric factorisation
 # ----------------------------------------------------------------------
 
@@ -179,7 +397,50 @@ class ILUFactorCSR:
 def ilu_csr(a: CSRMatrix, fill_level: int = 0,
             pattern: ILUPattern | None = None,
             storage_dtype=np.float64) -> ILUFactorCSR:
-    """Numeric ILU(k) of a scalar CSR matrix (IKJ variant)."""
+    """Numeric ILU(k) of a scalar CSR matrix, schedule driven.
+
+    With a reused ``pattern`` (the production path: one symbolic phase,
+    many Jacobian refreshes) the entire factorisation is batched numpy
+    on precompiled index arrays; no per-row Python work remains.
+    """
+    if pattern is None:
+        pattern = ilu_symbolic(a.indptr, a.indices, fill_level)
+    sched = _schedule_for(pattern, a.indptr, a.indices)
+    off_d, off_u = sched.off_diag, sched.off_upper
+    w = np.zeros(sched.nnzl + sched.n + sched.nnzu)
+    w[sched.a_dst] = a.data[sched.a_src]
+    _check_pivots(w, off_d, sched.pre_check)
+    for st in sched.stages:
+        mult = w[st.lpos] / w[off_d + st.piv]
+        w[st.lpos] = mult
+        if st.dst.size:
+            # dst is unique within a stage, so the fancy-indexed
+            # subtract is an exact (unbuffered) scatter.
+            w[st.dst] -= mult[st.rep] * w[off_u + st.src]
+        # Rows finishing here are checked before any later stage can
+        # divide by their diagonal.
+        _check_pivots(w, off_d, st.check_rows)
+    factor = ILUFactorCSR(
+        pattern=pattern,
+        l_data=w[:off_d].copy(),
+        u_data=w[off_u:].copy(),
+        inv_diag=1.0 / w[off_d:off_u],
+        l_levels_sched=sched.l_solve,
+        u_levels_sched=sched.u_solve,
+    )
+    if np.dtype(storage_dtype) != np.float64:
+        factor = factor.astype_storage(storage_dtype)
+    return factor
+
+
+def ilu_csr_ref(a: CSRMatrix, fill_level: int = 0,
+                pattern: ILUPattern | None = None,
+                storage_dtype=np.float64) -> ILUFactorCSR:
+    """Reference row-loop numeric ILU(k) (IKJ variant).
+
+    The pre-schedule implementation, kept verbatim as the semantics
+    oracle for :func:`ilu_csr` and the baseline of the kernel bench.
+    """
     if pattern is None:
         pattern = ilu_symbolic(a.indptr, a.indices, fill_level)
     n = pattern.n
@@ -283,7 +544,50 @@ class ILUFactorBSR:
 def ilu_bsr(a: BSRMatrix, fill_level: int = 0,
             pattern: ILUPattern | None = None,
             storage_dtype=np.float64) -> ILUFactorBSR:
-    """Numeric block ILU(k) of a BSR matrix."""
+    """Numeric block ILU(k) of a BSR matrix, schedule driven.
+
+    Same plan as :func:`ilu_csr` with scalars replaced by ``bs x bs``
+    blocks: divisions become GEMMs against the pivot-block inverses
+    (``np.matmul`` over stacked blocks) and diagonal inversions are
+    batched per dependency level.
+    """
+    if pattern is None:
+        pattern = ilu_symbolic(a.indptr, a.indices, fill_level)
+    sched = _schedule_for(pattern, a.indptr, a.indices)
+    bs = a.bs
+    off_d, off_u = sched.off_diag, sched.off_upper
+    w = np.zeros((sched.nnzl + sched.n + sched.nnzu, bs, bs))
+    w[sched.a_dst] = a.data[sched.a_src]
+    inv_diag = np.empty((sched.n, bs, bs))
+    if sched.pre_check.size:
+        inv_diag[sched.pre_check] = np.linalg.inv(w[off_d + sched.pre_check])
+    for st in sched.stages:
+        mult = np.matmul(w[st.lpos], inv_diag[st.piv])
+        w[st.lpos] = mult
+        if st.dst.size:
+            w[st.dst] -= np.matmul(mult[st.rep], w[off_u + st.src])
+        # Diagonal blocks finishing here are inverted before any later
+        # stage multiplies by them.
+        if st.check_rows.size:
+            inv_diag[st.check_rows] = np.linalg.inv(w[off_d + st.check_rows])
+    factor = ILUFactorBSR(
+        pattern=pattern, bs=bs,
+        l_data=w[:off_d].copy(),
+        u_data=w[off_u:].copy(),
+        inv_diag=inv_diag,
+        l_levels_sched=sched.l_solve,
+        u_levels_sched=sched.u_solve,
+    )
+    if np.dtype(storage_dtype) != np.float64:
+        factor = factor.astype_storage(storage_dtype)
+    return factor
+
+
+def ilu_bsr_ref(a: BSRMatrix, fill_level: int = 0,
+                pattern: ILUPattern | None = None,
+                storage_dtype=np.float64) -> ILUFactorBSR:
+    """Reference row-loop numeric block ILU(k) — oracle for
+    :func:`ilu_bsr`, see :func:`ilu_csr_ref`."""
     if pattern is None:
         pattern = ilu_symbolic(a.indptr, a.indices, fill_level)
     n = pattern.n

@@ -34,9 +34,13 @@ def spmv_csr_loop(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
     """
     y = np.zeros(a.nrows, dtype=np.result_type(a.data, x))
     indptr, indices, data = a.indptr, a.indices, a.data
+    # Accumulate in the result dtype (a bare 0.0 would silently promote
+    # the whole chain to float64, desynchronising this oracle from the
+    # vectorised kernels under fp32).
+    zero = y.dtype.type(0)
     for i in range(a.nrows):
         s, e = indptr[i], indptr[i + 1]
-        acc = 0.0
+        acc = zero
         for t in range(s, e):
             acc += data[t] * x[indices[t]]
         y[i] = acc

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sparse.segsum import segment_sum
+
 __all__ = ["level_schedule", "lower_solve_csr", "upper_solve_csr",
            "lower_solve_blocks", "upper_solve_blocks"]
 
@@ -51,15 +53,19 @@ def _row_dot(indptr, indices, data, x, rows):
     out_row = np.repeat(np.arange(rows.size, dtype=np.int64), counts)
     flat = _ranges(starts, counts)
     prods = data[flat].astype(x.dtype, copy=False) * x[indices[flat]]
-    acc = np.zeros(rows.size, dtype=x.dtype)
-    np.add.at(acc, out_row, prods)
-    return acc
+    return segment_sum(out_row, prods, rows.size).astype(x.dtype, copy=False)
 
 
 def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(s, s + c)`` for each start/count pair."""
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
+    # Zero-length ranges contribute nothing but would alias the offset
+    # positions below (duplicate fancy-index writes); drop them first.
+    nz = counts > 0
+    if not nz.all():
+        starts, counts = starts[nz], counts[nz]
     out = np.ones(total, dtype=np.int64)
     offsets = np.zeros(counts.size, dtype=np.int64)
     np.cumsum(counts[:-1], out=offsets[1:])
@@ -96,9 +102,7 @@ def _row_dot_blocks(indptr, indices, data, x, rows, bs):
     flat = _ranges(starts, counts)
     prods = np.einsum("kij,kj->ki", data[flat].astype(x.dtype, copy=False),
                       x[indices[flat]])
-    acc = np.zeros((rows.size, bs), dtype=x.dtype)
-    np.add.at(acc, out_row, prods)
-    return acc
+    return segment_sum(out_row, prods, rows.size).astype(x.dtype, copy=False)
 
 
 def lower_solve_blocks(indptr, indices, data, b, levels, bs) -> np.ndarray:
