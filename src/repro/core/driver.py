@@ -33,6 +33,7 @@ from repro.solvers.gmres import gmres
 from repro.solvers.krylov_base import OperatorFromMatrix
 from repro.solvers.ptc import SERController
 from repro.solvers.workspace import KrylovWorkspace
+from repro.telemetry.recorder import NULL_RECORDER
 
 __all__ = ["NKSSolver", "SolveReport", "StepRecord"]
 
@@ -98,12 +99,24 @@ class SolveReport:
 
 
 class NKSSolver:
-    """Pseudo-transient Newton-Krylov-Schwarz driver."""
+    """Pseudo-transient Newton-Krylov-Schwarz driver.
+
+    ``recorder`` (a :class:`repro.telemetry.TraceRecorder`) threads
+    telemetry through the whole stack: the driver records ``flux``,
+    ``jacobian``, and ``krylov`` envelope spans; the preconditioner
+    records ``precond_setup`` / ``trisolve``; GMRES records
+    ``orthogonalization`` and the iteration counters.  The default is
+    a shared no-op recorder, so uninstrumented solves pay nothing and
+    an instrumented solve is bitwise-identical — telemetry only reads
+    the clock, never the arrays.
+    """
 
     def __init__(self, disc: EdgeFVDiscretization,
-                 config: SolverConfig | None = None) -> None:
+                 config: SolverConfig | None = None,
+                 recorder=None) -> None:
         self.disc = disc
         self.config = config or SolverConfig()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._labels = self._build_labels()
         self._pc: AdditiveSchwarz | None = None
         self._ws = KrylovWorkspace()     # Krylov arrays, reused every step
@@ -137,6 +150,7 @@ class NKSSolver:
             ASMConfig(overlap=cfg.overlap, fill_level=cfg.fill_level,
                       variant=cfg.variant, storage_dtype=cfg.dtype),
             graph=self.disc.mesh.vertex_graph(),
+            recorder=self.recorder,
         )
 
     # ------------------------------------------------------------------
@@ -150,8 +164,9 @@ class NKSSolver:
         end the solve early (the report is returned unconverged).
         """
         cfg = self.config
+        rec = self.recorder
         q = np.array(q0, dtype=np.float64).ravel().copy()
-        controller = SERController(cfg.ptc)
+        controller = SERController(cfg.ptc, recorder=rec)
         report = SolveReport(converged=False)
         self._steps_since_refresh = cfg.jacobian_lag  # force initial refresh
 
@@ -162,7 +177,8 @@ class NKSSolver:
             order = (controller.second_order
                      if cfg.ptc.switch_order_drop is not None else None)
             t0 = time.perf_counter()
-            f = self.disc.residual(q, second_order=order)
+            with rec.span("flux"):
+                f = self.disc.residual(q, second_order=order)
             t_flux = time.perf_counter() - t0
             fnorm = float(np.linalg.norm(f))
             if step == 1:
@@ -182,7 +198,8 @@ class NKSSolver:
             t_asm = t_pc = 0.0
             if self._steps_since_refresh >= cfg.jacobian_lag or self._pc is None:
                 t0 = time.perf_counter()
-                jac = self.disc.shifted_jacobian(q, cfl)
+                with rec.span("jacobian"):
+                    jac = self.disc.shifted_jacobian(q, cfl)
                 t_asm = time.perf_counter() - t0
                 t0 = time.perf_counter()
                 # Keep the preconditioner instance across refreshes: the
@@ -204,13 +221,16 @@ class NKSSolver:
                                                  second_order=order)
             else:
                 op = OperatorFromMatrix(self._jac)
-            res = gmres(op, -f, M=self._pc,
-                        rtol=cfg.krylov.rtol,
-                        restart=cfg.krylov.restart,
-                        maxiter=cfg.krylov.max_iterations,
-                        orthog=cfg.krylov.orthogonalization,
-                        workspace=self._ws)
+            with rec.span("krylov"):
+                res = gmres(op, -f, M=self._pc,
+                            rtol=cfg.krylov.rtol,
+                            restart=cfg.krylov.restart,
+                            maxiter=cfg.krylov.max_iterations,
+                            orthog=cfg.krylov.orthogonalization,
+                            workspace=self._ws,
+                            recorder=rec)
             t_kry = time.perf_counter() - t0
+            rec.count("newton_steps", 1)
 
             q += res.x
             record = StepRecord(

@@ -16,7 +16,9 @@ from repro.experiments.common import (
 )
 from repro.experiments.table1 import run_table1, Table1Row
 from repro.experiments.table2 import run_table2
-from repro.experiments.table3 import run_table3, ScalabilityResult
+from repro.experiments.table3 import (run_table3, run_table3_measured,
+                                      ScalabilityResult,
+                                      MeasuredScalabilityResult)
 from repro.experiments.table4 import run_table4
 from repro.experiments.table5 import run_table5
 from repro.experiments.fig2 import run_fig2
@@ -32,7 +34,8 @@ __all__ = [
     "measured_linear_iterations",
     "run_table1", "Table1Row",
     "run_table2",
-    "run_table3", "ScalabilityResult",
+    "run_table3", "run_table3_measured",
+    "ScalabilityResult", "MeasuredScalabilityResult",
     "run_table4",
     "run_table5",
     "run_fig2",

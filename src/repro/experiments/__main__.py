@@ -18,7 +18,7 @@ import time
 
 from repro.experiments import (run_eq_bounds, run_fig2, run_fig3, run_fig4,
                                run_fig5, run_table1, run_table2, run_table3,
-                               run_table4, run_table5)
+                               run_table3_measured, run_table4, run_table5)
 
 
 def _table1():
@@ -30,6 +30,12 @@ def _table1():
 def _table3():
     yield run_table3(procs=(2, 4, 8, 16, 32), size="medium",
                      max_steps=5).to_table()
+
+
+def _table3_measured():
+    # Quickstart-sized: the replay executes the real SPMD kernels.
+    yield run_table3_measured(procs=(2, 4, 8), size="small",
+                              max_steps=3).to_table()
 
 
 def _fig1():
@@ -47,6 +53,7 @@ EXPERIMENTS = {
     "table2": lambda: [run_table2(procs=(4, 8, 16), size="medium",
                                   max_steps=4)],
     "table3": _table3,
+    "table3-measured": _table3_measured,
     "table4": lambda: [run_table4(procs=(4, 8), size="medium", max_steps=3)],
     "table5": lambda: [run_table5(node_counts=(4, 8, 16, 32), size="medium")],
     "fig1": _fig1,

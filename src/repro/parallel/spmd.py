@@ -13,6 +13,24 @@ This is a deterministic simulation of the MPI program, executed rank
 by rank in one process (the environment has no MPI); the data each
 rank touches is restricted to its local arrays, so any bookkeeping
 error produces wrong numbers rather than silent reuse of global state.
+
+Dtype preservation
+------------------
+All distributed kernels honour the dtype of the global vector they are
+handed: a float32 ``qglobal``/``xglobal`` gets float32 rank-local
+arrays, float32 exchange payloads, and a float32 result (mirroring the
+Krylov solvers, whose working precision follows the right-hand side —
+the paper's Sec. 3.2 precision knob).  No silent promotion to float64
+happens anywhere in the rank-local path.
+
+Telemetry
+---------
+Every kernel accepts ``recorder=`` (a
+:class:`repro.telemetry.TraceRecorder`); when given, per-rank compute
+spans, ghost-exchange payloads (messages/bytes counters), reduction
+counts, and the max-over-ranks implicit-synchronisation waits are
+*measured* from this execution — the observed counterpart of the
+modelled :mod:`repro.parallel.simulate` ledgers.
 """
 
 from __future__ import annotations
@@ -25,6 +43,7 @@ from repro.euler.discretization import EdgeFVDiscretization
 from repro.graph.adjacency import Graph
 from repro.sparse.bsr import BSRMatrix
 from repro.sparse.segsum import segment_sum
+from repro.telemetry.recorder import NULL_RECORDER
 
 __all__ = ["RankLocalData", "SPMDLayout", "GhostExchange",
            "distributed_residual", "distributed_matvec", "distributed_dot"]
@@ -100,46 +119,83 @@ class SPMDLayout:
 class GhostExchange:
     """The scatter: refresh every rank's ghost values from the owners.
 
-    Executed pairwise so message counts and payloads are observable;
-    ``messages`` and ``bytes_moved`` accumulate across calls (compare
-    against :class:`repro.parallel.scatter.GhostExchangePlan`).
+    Executed pairwise so message counts and payloads are observable.
+    Accounting convention (matching
+    :class:`repro.parallel.scatter.GhostExchangePlan`): messages and
+    bytes are counted once, in the *receive* direction — one message
+    per (receiver, owner) pair per refresh (``GhostExchangePlan.
+    neighbors`` summed over ranks) and one payload per ghost copy
+    received (``GhostExchangePlan.recv_bytes``).  The send-side view is
+    the same traffic attributed to the owning ranks
+    (``GhostExchangePlan.send_bytes``); it is not double-counted here.
+    ``messages`` and ``bytes_moved`` accumulate across calls.
     """
 
-    def __init__(self, layout: SPMDLayout, ncomp: int) -> None:
+    def __init__(self, layout: SPMDLayout, ncomp: int, *,
+                 recorder=None) -> None:
         self.layout = layout
         self.ncomp = ncomp
         self.messages = 0
         self.bytes_moved = 0
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     def refresh(self, local_q: list[np.ndarray]) -> None:
         """Update the ghost tail of each rank's local state in place.
 
         ``local_q[r]`` has shape (n_local_r, ncomp): owned rows first.
+        Raises :class:`ValueError` if any ghost id is not actually
+        present in its owner's ``owned`` array — ``np.searchsorted``
+        on a stale layout would otherwise silently pick a wrong row.
         """
         layout = self.layout
+        rec = self.recorder
+        per_rank_s = [0.0] * layout.nranks
         # Owner-side lookup: global id -> (rank, owned position).
         for r, rd in enumerate(layout.ranks):
             if rd.ghosts.size == 0:
                 continue
-            for owner in np.unique(rd.ghost_owner):
-                sel = rd.ghost_owner == owner
-                gids = rd.ghosts[sel]
-                src = layout.ranks[int(owner)]
-                pos = np.searchsorted(src.owned, gids)
-                payload = local_q[int(owner)][pos]          # owned rows
-                local_q[r][rd.n_owned + np.where(sel)[0]] = payload
-                self.messages += 1
-                self.bytes_moved += payload.size * payload.itemsize
+            with rec.span("ghost_exchange", rank=r) as sp:
+                for owner in np.unique(rd.ghost_owner):
+                    sel = rd.ghost_owner == owner
+                    gids = rd.ghosts[sel]
+                    src = layout.ranks[int(owner)]
+                    pos = np.searchsorted(src.owned, gids)
+                    if src.owned.size == 0:
+                        found = np.zeros(gids.shape, dtype=bool)
+                    else:
+                        found = ((pos < src.owned.size)
+                                 & (src.owned[np.minimum(
+                                     pos, src.owned.size - 1)] == gids))
+                    if not found.all():
+                        missing = gids[~found]
+                        raise ValueError(
+                            f"stale SPMD layout: rank {r} expects ghosts "
+                            f"{missing.tolist()} from rank {int(owner)}, "
+                            f"which does not own them")
+                    payload = local_q[int(owner)][pos]          # owned rows
+                    local_q[r][rd.n_owned + np.where(sel)[0]] = payload
+                    self.messages += 1
+                    self.bytes_moved += payload.size * payload.itemsize
+                    rec.count("messages", 1, rank=r)
+                    rec.count("bytes", payload.size * payload.itemsize,
+                              rank=r)
+            per_rank_s[r] = sp.elapsed
+        if self.messages:
+            rec.record_wait("ghost_exchange", per_rank_s)
 
 
 def _scatter_local_state(layout: SPMDLayout, qglobal: np.ndarray,
                          ncomp: int) -> list[np.ndarray]:
     """Initial distribution: each rank receives only its owned rows
-    (ghost rows start as garbage and must come from an exchange)."""
+    (ghost rows start as garbage and must come from an exchange).
+
+    Local arrays take ``qglobal``'s dtype — a bare ``np.full`` would
+    default to float64 and silently promote float32 state.
+    """
     q = qglobal.reshape(-1, ncomp)
     out = []
     for rd in layout.ranks:
-        local = np.full((rd.n_local, ncomp), np.nan)
+        local = np.full((rd.n_local, ncomp), np.nan, dtype=q.dtype)
         local[: rd.n_owned] = q[rd.owned]
         out.append(local)
     return out
@@ -147,88 +203,109 @@ def _scatter_local_state(layout: SPMDLayout, qglobal: np.ndarray,
 
 def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
                          qglobal: np.ndarray,
-                         exchange: GhostExchange | None = None
-                         ) -> np.ndarray:
+                         exchange: GhostExchange | None = None,
+                         *, recorder=None) -> np.ndarray:
     """First-order residual computed rank by rank on local data.
 
     Each rank evaluates fluxes on its local edge set with purely local
     state (ghosts refreshed by one exchange), accumulates only its
     owned rows, and the owned rows are gathered into the global vector.
-    Must equal ``disc.residual(q, second_order=False)`` exactly.
+    Must equal ``disc.residual(q, second_order=False)`` exactly.  The
+    result dtype follows ``qglobal`` (float32 in, float32 out).
     """
     ncomp = disc.ncomp
-    ex = exchange or GhostExchange(layout, ncomp)
+    rec = recorder if recorder is not None else NULL_RECORDER
+    ex = exchange or GhostExchange(layout, ncomp, recorder=rec)
     local_q = _scatter_local_state(layout, qglobal, ncomp)
     ex.refresh(local_q)
 
     from repro.euler.fluxes import rusanov_flux
 
-    out = np.zeros((disc.mesh.num_vertices, ncomp))
+    out = np.zeros((disc.mesh.num_vertices, ncomp), dtype=qglobal.dtype)
+    per_rank_s = [0.0] * layout.nranks
     for rd in layout.ranks:
-        if rd.local_edges.size == 0:
-            r_local = np.zeros((rd.n_local, ncomp))
-        else:
-            ql = local_q[rd.rank][rd.local_edges[:, 0]]
-            qr = local_q[rd.rank][rd.local_edges[:, 1]]
-            s = disc.dual.edge_normals[rd.edge_ids]
-            f = rusanov_flux(ql, qr, s, disc._flux, disc._wavespeed)
-            r_local = (segment_sum(rd.local_edges[:, 0], f, rd.n_local)
-                       - segment_sum(rd.local_edges[:, 1], f, rd.n_local))
-        # Boundary closures on owned boundary vertices.
-        bc = disc.bc
-        owned_set = rd.owned
-        bmask = np.isin(bc.vertices, owned_set, assume_unique=False)
-        if bmask.any():
-            bv = bc.vertices[bmask]
-            lpos = np.searchsorted(rd.owned, bv)
-            qb = local_q[rd.rank][lpos]
-            kinds = bc.kinds[bmask]
-            normals = bc.normals[bmask]
-            wall = kinds == bc.WALL
-            if wall.any():
-                r_local[lpos[wall]] += disc._wall_flux(qb[wall],
-                                                       normals[wall])
-            far = ~wall
-            if far.any():
-                qe = np.broadcast_to(disc.farfield_state,
-                                     qb[far].shape)
-                r_local[lpos[far]] += rusanov_flux(
-                    qb[far], qe, normals[far], disc._flux,
-                    disc._wavespeed)
-        out[rd.owned] = r_local[: rd.n_owned]
+        with rec.span("flux", rank=rd.rank) as sp:
+            if rd.local_edges.size == 0:
+                r_local = np.zeros((rd.n_local, ncomp))
+            else:
+                ql = local_q[rd.rank][rd.local_edges[:, 0]]
+                qr = local_q[rd.rank][rd.local_edges[:, 1]]
+                s = disc.dual.edge_normals[rd.edge_ids]
+                f = rusanov_flux(ql, qr, s, disc._flux, disc._wavespeed)
+                r_local = (segment_sum(rd.local_edges[:, 0], f, rd.n_local)
+                           - segment_sum(rd.local_edges[:, 1], f, rd.n_local))
+            # Boundary closures on owned boundary vertices.
+            bc = disc.bc
+            owned_set = rd.owned
+            bmask = np.isin(bc.vertices, owned_set, assume_unique=False)
+            if bmask.any():
+                bv = bc.vertices[bmask]
+                lpos = np.searchsorted(rd.owned, bv)
+                qb = local_q[rd.rank][lpos]
+                kinds = bc.kinds[bmask]
+                normals = bc.normals[bmask]
+                wall = kinds == bc.WALL
+                if wall.any():
+                    r_local[lpos[wall]] += disc._wall_flux(qb[wall],
+                                                           normals[wall])
+                far = ~wall
+                if far.any():
+                    qe = np.broadcast_to(disc.farfield_state,
+                                         qb[far].shape)
+                    r_local[lpos[far]] += rusanov_flux(
+                        qb[far], qe, normals[far], disc._flux,
+                        disc._wavespeed)
+            out[rd.owned] = r_local[: rd.n_owned]
+        per_rank_s[rd.rank] = sp.elapsed
+    rec.record_wait("flux", per_rank_s)
     return out.ravel()
 
 
 def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
                        xglobal: np.ndarray,
-                       exchange: GhostExchange | None = None) -> np.ndarray:
+                       exchange: GhostExchange | None = None,
+                       *, recorder=None) -> np.ndarray:
     """y = A x computed rank by rank: each rank holds its owned block
     rows (whose columns reach only owned + ghost vertices) and local x;
-    one exchange refreshes the ghosts first."""
+    one exchange refreshes the ghosts first.
+
+    As in the Krylov solvers, the working precision follows the vector:
+    the result and all rank-local arrays take ``xglobal``'s dtype.
+    """
     bs = a.bs
-    ex = exchange or GhostExchange(layout, bs)
+    rec = recorder if recorder is not None else NULL_RECORDER
+    ex = exchange or GhostExchange(layout, bs, recorder=rec)
     local_x = _scatter_local_state(layout, xglobal, bs)
     ex.refresh(local_x)
-    y = np.zeros((a.nbrows, bs))
+    y = np.zeros((a.nbrows, bs), dtype=xglobal.dtype)
+    per_rank_s = [0.0] * layout.nranks
     for rd in layout.ranks:
-        lut = np.full(a.nbrows, -1, dtype=np.int64)
-        lut[rd.local_vertices] = np.arange(rd.n_local)
-        for pos, i in enumerate(rd.owned):
-            s, e = a.indptr[i], a.indptr[i + 1]
-            cols = lut[a.indices[s:e]]
-            if np.any(cols < 0):
-                raise ValueError("matrix couples beyond the ghost layer")
-            y[i] = np.einsum("kij,kj->i", a.data[s:e],
-                             local_x[rd.rank][cols])
+        with rec.span("matvec", rank=rd.rank) as sp:
+            lut = np.full(a.nbrows, -1, dtype=np.int64)
+            lut[rd.local_vertices] = np.arange(rd.n_local)
+            for pos, i in enumerate(rd.owned):
+                s, e = a.indptr[i], a.indptr[i + 1]
+                cols = lut[a.indices[s:e]]
+                if np.any(cols < 0):
+                    raise ValueError("matrix couples beyond the ghost layer")
+                y[i] = np.einsum("kij,kj->i", a.data[s:e],
+                                 local_x[rd.rank][cols])
+        per_rank_s[rd.rank] = sp.elapsed
+    rec.record_wait("matvec", per_rank_s)
     return y.ravel()
 
 
 def distributed_dot(layout: SPMDLayout, xglobal: np.ndarray,
-                    yglobal: np.ndarray, ncomp: int) -> float:
+                    yglobal: np.ndarray, ncomp: int,
+                    *, recorder=None) -> float:
     """Global dot product as partial sums over owned rows + allreduce
     (the reduction whose latency Table 3 prices)."""
+    rec = recorder if recorder is not None else NULL_RECORDER
     x = xglobal.reshape(-1, ncomp)
     y = yglobal.reshape(-1, ncomp)
-    partials = [float(np.sum(x[rd.owned] * y[rd.owned]))
-                for rd in layout.ranks]
-    return float(np.sum(partials))   # the allreduce
+    with rec.span("allreduce"):
+        partials = [float(np.sum(x[rd.owned] * y[rd.owned]))
+                    for rd in layout.ranks]
+        result = float(np.sum(partials))   # the allreduce
+    rec.count("reductions", 1)
+    return result

@@ -12,28 +12,54 @@ change between two reports.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 
-__all__ = ["write_report", "load_report"]
+__all__ = ["write_report", "load_report", "atomic_write_json"]
 
 SCHEMA_VERSION = 1
 
 
+def atomic_write_json(path, doc: dict) -> pathlib.Path:
+    """Serialise ``doc`` and atomically replace ``path`` with it.
+
+    The JSON is written to a temporary file in the *same directory*
+    (``os.replace`` is only atomic within one filesystem) and swapped
+    in afterwards, so a crash mid-write — or mid-serialisation — can
+    never leave a truncated report behind: readers see either the old
+    document or the new one, never half of each.
+    """
+    path = pathlib.Path(path)
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def write_report(path, kernels: dict, meta: dict | None = None) -> pathlib.Path:
-    """Write the report; returns the path written.
+    """Write the report (atomically); returns the path written.
 
     ``kernels`` maps kernel name -> timing dict; ``meta`` is free-form
     (mesh size, dtype, versions).  Keys are sorted so reports diff
     cleanly.
     """
-    path = pathlib.Path(path)
     doc = {
         "schema_version": SCHEMA_VERSION,
         "meta": dict(meta or {}),
         "kernels": {k: kernels[k] for k in sorted(kernels)},
     }
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
-    return path
+    return atomic_write_json(path, doc)
 
 
 def load_report(path) -> dict:

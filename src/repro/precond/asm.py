@@ -26,6 +26,7 @@ from repro.graph.traversal import expand_overlap
 from repro.precond.subdomain import SubdomainSolver
 from repro.sparse.bsr import BSRMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.telemetry.recorder import NULL_RECORDER
 
 __all__ = ["ASMVariant", "ASMConfig", "AdditiveSchwarz"]
 
@@ -65,13 +66,20 @@ class AdditiveSchwarz:
         derived from the matrix sparsity at setup time (identical for
         our stencil matrices, but passing the mesh graph avoids the
         recomputation).
+    recorder:
+        Optional :class:`repro.telemetry.TraceRecorder`.  ``setup``
+        records a ``precond_setup`` span; every ``solve`` records one
+        ``trisolve`` span per subdomain (rank = subdomain index) plus
+        the max-over-subdomains wait, so the load imbalance of the
+        per-rank triangular solves is observed directly.
     """
 
     def __init__(self, labels: np.ndarray, config: ASMConfig | None = None,
-                 graph: Graph | None = None) -> None:
+                 graph: Graph | None = None, recorder=None) -> None:
         self.labels = np.asarray(labels, dtype=np.int64)
         self.config = config or ASMConfig()
         self._graph = graph
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.subdomains: list[SubdomainSolver] = []
         self._bs = 1
         self._n = self.labels.size
@@ -85,36 +93,37 @@ class AdditiveSchwarz:
         the partition, overlap expansion, and symbolic ILU are reused
         and only the numeric factorisation is redone.
         """
-        if isinstance(a, BSRMatrix):
-            nbrows = a.nbrows
-            self._bs = a.bs
-        else:
-            nbrows = a.nrows
-            self._bs = 1
-        if nbrows != self._n:
-            raise ValueError("label count does not match matrix rows")
-        if self.subdomains:
-            # Refresh path (same sparsity, new Jacobian values): keep the
-            # subdomain index sets and symbolic ILU patterns — and with
-            # them the compiled elimination schedules — and redo only
-            # the numeric factorisation.
-            self.subdomains = [sd.refactor(a) for sd in self.subdomains]
-            return self
-        graph = self._graph
-        if graph is None:
-            graph = graph_from_csr(a.indptr, a.indices)
-            self._graph = graph
-        nparts = int(self.labels.max()) + 1 if self.labels.size else 0
-        self.subdomains = []
-        for s in range(nparts):
-            core = np.where(self.labels == s)[0]
-            if core.size == 0:
-                continue
-            rows = expand_overlap(graph, core, self.config.overlap)
-            owned = np.isin(rows, core, assume_unique=True)
-            self.subdomains.append(
-                SubdomainSolver.build(a, rows, owned, self.config.fill_level,
-                                      storage_dtype=self.config.storage_dtype))
+        with self.recorder.span("precond_setup"):
+            if isinstance(a, BSRMatrix):
+                nbrows = a.nbrows
+                self._bs = a.bs
+            else:
+                nbrows = a.nrows
+                self._bs = 1
+            if nbrows != self._n:
+                raise ValueError("label count does not match matrix rows")
+            if self.subdomains:
+                # Refresh path (same sparsity, new Jacobian values): keep
+                # the subdomain index sets and symbolic ILU patterns — and
+                # with them the compiled elimination schedules — and redo
+                # only the numeric factorisation.
+                self.subdomains = [sd.refactor(a) for sd in self.subdomains]
+                return self
+            graph = self._graph
+            if graph is None:
+                graph = graph_from_csr(a.indptr, a.indices)
+                self._graph = graph
+            nparts = int(self.labels.max()) + 1 if self.labels.size else 0
+            self.subdomains = []
+            for s in range(nparts):
+                core = np.where(self.labels == s)[0]
+                if core.size == 0:
+                    continue
+                rows = expand_overlap(graph, core, self.config.overlap)
+                owned = np.isin(rows, core, assume_unique=True)
+                self.subdomains.append(SubdomainSolver.build(
+                    a, rows, owned, self.config.fill_level,
+                    storage_dtype=self.config.storage_dtype))
         return self
 
     # -- application ----------------------------------------------------
@@ -123,17 +132,24 @@ class AdditiveSchwarz:
         if not self.subdomains:
             raise RuntimeError("setup() has not been called")
         bs = self._bs
+        rec = self.recorder
         rb = np.asarray(r, dtype=np.float64).reshape(self._n, bs)
         zb = np.zeros_like(rb)
         restricted = self.config.variant is ASMVariant.RESTRICTED
-        for sd in self.subdomains:
-            local = sd.local_solve(rb[sd.rows].ravel()).reshape(-1, bs)
-            if restricted:
-                zb[sd.rows[sd.owned]] += local[sd.owned]
-            else:
-                # sd.rows is sorted unique, so a plain fancy-indexed
-                # add is exact (and much faster than np.add.at).
-                zb[sd.rows] += local
+        per_rank_s = [0.0] * len(self.subdomains)
+        for s, sd in enumerate(self.subdomains):
+            # Subdomain index = would-be MPI rank: per-subdomain spans
+            # expose the triangular-solve load imbalance.
+            with rec.span("trisolve", rank=s) as sp:
+                local = sd.local_solve(rb[sd.rows].ravel()).reshape(-1, bs)
+                if restricted:
+                    zb[sd.rows[sd.owned]] += local[sd.owned]
+                else:
+                    # sd.rows is sorted unique, so a plain fancy-indexed
+                    # add is exact (and much faster than np.add.at).
+                    zb[sd.rows] += local
+            per_rank_s[s] = sp.elapsed
+        rec.record_wait("trisolve", per_rank_s)
         return zb.ravel()
 
     # -- accounting ------------------------------------------------------

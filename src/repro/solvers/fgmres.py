@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.solvers.gmres import GMRESResult, Orthogonalization, _back_substitute
+from repro.solvers.gmres import (GMRESResult, Orthogonalization,
+                                 _back_substitute, _finish)
 from repro.solvers.krylov_base import as_operator
 from repro.solvers.workspace import KrylovWorkspace, solve_dtype
+from repro.telemetry.recorder import NULL_RECORDER
 
 __all__ = ["fgmres"]
 
@@ -34,16 +36,18 @@ def fgmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
            rtol: float = 1e-5, atol: float = 1e-50, restart: int = 20,
            maxiter: int = 200,
            orthog: Orthogonalization | str = Orthogonalization.MGS,
-           workspace: KrylovWorkspace | None = None
-           ) -> GMRESResult:
+           workspace: KrylovWorkspace | None = None,
+           recorder=None) -> GMRESResult:
     """Solve ``a x = b`` with flexible restarted GMRES.
 
-    Same interface as :func:`repro.solvers.gmres.gmres`; ``M.solve``
-    may be a *different* operator on every call (e.g. an inner Krylov
-    iteration).  A passed ``workspace`` is resized in place if needed
-    and gains the Z block on first flexible use.
+    Same interface as :func:`repro.solvers.gmres.gmres` (including the
+    optional telemetry ``recorder``); ``M.solve`` may be a *different*
+    operator on every call (e.g. an inner Krylov iteration).  A passed
+    ``workspace`` is resized in place if needed and gains the Z block
+    on first flexible use.
     """
     op = as_operator(a, n=b.size)
+    rec = recorder if recorder is not None else NULL_RECORDER
     pc = M if M is not None else _IdentityPC()
     orthog = Orthogonalization(orthog)
     n = b.size
@@ -68,10 +72,11 @@ def fgmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         if not resnorms:
             resnorms.append(beta)
         if beta <= target or total_its >= maxiter:
-            return GMRESResult(x=x, converged=beta <= target,
-                               iterations=total_its, restarts=restarts,
-                               residual_norms=resnorms, matvecs=matvecs,
-                               precond_applies=pc_applies)
+            return _finish(rec, GMRESResult(
+                x=x, converged=beta <= target,
+                iterations=total_its, restarts=restarts,
+                residual_norms=resnorms, matvecs=matvecs,
+                precond_applies=pc_applies))
 
         m = min(restart, maxiter - total_its)
         ws.reset()
@@ -91,16 +96,17 @@ def fgmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             pc_applies += 1
             w = op.matvec(Z[k])
             matvecs += 1
-            if orthog is Orthogonalization.MGS:
-                for j in range(k + 1):
-                    H[j, k] = float(V[j] @ w)
-                    w -= H[j, k] * V[j]
-            else:
-                h = V[: k + 1] @ w
-                w = w - V[: k + 1].T @ h
-                h2 = V[: k + 1] @ w
-                w = w - V[: k + 1].T @ h2
-                H[: k + 1, k] = h + h2
+            with rec.span("orthogonalization"):
+                if orthog is Orthogonalization.MGS:
+                    for j in range(k + 1):
+                        H[j, k] = float(V[j] @ w)
+                        w -= H[j, k] * V[j]
+                else:
+                    h = V[: k + 1] @ w
+                    w = w - V[: k + 1].T @ h
+                    h2 = V[: k + 1] @ w
+                    w = w - V[: k + 1].T @ h2
+                    H[: k + 1, k] = h + h2
             hnext = float(np.linalg.norm(w))
             H[k + 1, k] = hnext
             for j in range(k):
@@ -138,7 +144,8 @@ def fgmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             matvecs += 1
             beta = float(np.linalg.norm(r))
             resnorms.append(beta)
-            return GMRESResult(x=x, converged=beta <= target,
-                               iterations=total_its, restarts=restarts,
-                               residual_norms=resnorms, matvecs=matvecs,
-                               precond_applies=pc_applies)
+            return _finish(rec, GMRESResult(
+                x=x, converged=beta <= target,
+                iterations=total_its, restarts=restarts,
+                residual_norms=resnorms, matvecs=matvecs,
+                precond_applies=pc_applies))

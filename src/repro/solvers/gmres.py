@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.solvers.krylov_base import LinearOperator, as_operator
 from repro.solvers.workspace import KrylovWorkspace, solve_dtype
+from repro.telemetry.recorder import NULL_RECORDER
 
 __all__ = ["gmres", "GMRESResult", "Orthogonalization"]
 
@@ -63,7 +64,8 @@ def gmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
           rtol: float = 1e-5, atol: float = 1e-50, restart: int = 20,
           maxiter: int = 200,
           orthog: Orthogonalization | str = Orthogonalization.MGS,
-          workspace: KrylovWorkspace | None = None) -> GMRESResult:
+          workspace: KrylovWorkspace | None = None,
+          recorder=None) -> GMRESResult:
     """Solve ``a x = b`` with restarted, right-preconditioned GMRES.
 
     Parameters
@@ -84,11 +86,18 @@ def gmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         match ``(b.size, restart, dtype)``.  Passing the same workspace
         across calls (the driver does, one per Newton solve) removes all
         per-restart allocation.  The iterates are identical either way.
+    recorder:
+        Optional :class:`repro.telemetry.TraceRecorder`: records an
+        ``orthogonalization`` span per inner iteration and the
+        ``linear_iterations`` / ``matvecs`` / ``precond_applies``
+        counters.  Never touches the arithmetic — an instrumented
+        solve is bitwise-identical to an uninstrumented one.
 
     The working precision is taken from ``b``: a float32 right-hand
     side runs the basis, Hessenberg, and solution update in float32.
     """
     op = as_operator(a, n=b.size)
+    rec = recorder if recorder is not None else NULL_RECORDER
     pc = M if M is not None else _IdentityPC()
     orthog = Orthogonalization(orthog)
     n = b.size
@@ -113,10 +122,11 @@ def gmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         if not resnorms:
             resnorms.append(beta)
         if beta <= target or total_its >= maxiter:
-            return GMRESResult(x=x, converged=beta <= target,
-                               iterations=total_its, restarts=restarts,
-                               residual_norms=resnorms, matvecs=matvecs,
-                               precond_applies=pc_applies)
+            return _finish(rec, GMRESResult(
+                x=x, converged=beta <= target,
+                iterations=total_its, restarts=restarts,
+                residual_norms=resnorms, matvecs=matvecs,
+                precond_applies=pc_applies))
 
         m = min(restart, maxiter - total_its)
         ws.reset()
@@ -135,16 +145,17 @@ def gmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             pc_applies += 1
             w = op.matvec(z)
             matvecs += 1
-            if orthog is Orthogonalization.MGS:
-                for j in range(k + 1):
-                    H[j, k] = float(V[j] @ w)
-                    w -= H[j, k] * V[j]
-            else:  # classical Gram-Schmidt with one reorthogonalisation
-                h = V[: k + 1] @ w
-                w = w - V[: k + 1].T @ h
-                h2 = V[: k + 1] @ w
-                w = w - V[: k + 1].T @ h2
-                H[: k + 1, k] = h + h2
+            with rec.span("orthogonalization"):
+                if orthog is Orthogonalization.MGS:
+                    for j in range(k + 1):
+                        H[j, k] = float(V[j] @ w)
+                        w -= H[j, k] * V[j]
+                else:  # classical Gram-Schmidt, one reorthogonalisation
+                    h = V[: k + 1] @ w
+                    w = w - V[: k + 1].T @ h
+                    h2 = V[: k + 1] @ w
+                    w = w - V[: k + 1].T @ h2
+                    H[: k + 1, k] = h + h2
             hnext = float(np.linalg.norm(w))
             H[k + 1, k] = hnext
             # Apply accumulated Givens rotations to the new column.
@@ -188,10 +199,19 @@ def gmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             matvecs += 1
             beta = float(np.linalg.norm(r))
             resnorms.append(beta)
-            return GMRESResult(x=x, converged=beta <= target,
-                               iterations=total_its, restarts=restarts,
-                               residual_norms=resnorms, matvecs=matvecs,
-                               precond_applies=pc_applies)
+            return _finish(rec, GMRESResult(
+                x=x, converged=beta <= target,
+                iterations=total_its, restarts=restarts,
+                residual_norms=resnorms, matvecs=matvecs,
+                precond_applies=pc_applies))
+
+
+def _finish(rec, res: GMRESResult) -> GMRESResult:
+    """Record the solve's counters on the way out (no-op when null)."""
+    rec.count("linear_iterations", res.iterations)
+    rec.count("matvecs", res.matvecs)
+    rec.count("precond_applies", res.precond_applies)
+    return res
 
 
 def _back_substitute(H: np.ndarray, g: np.ndarray, k: int) -> np.ndarray:

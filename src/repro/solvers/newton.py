@@ -14,6 +14,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.telemetry.recorder import NULL_RECORDER
+
 __all__ = ["newton_solve", "NewtonResult"]
 
 
@@ -43,6 +45,7 @@ def newton_solve(
     line_search: bool = True,
     max_backtracks: int = 8,
     armijo: float = 1e-4,
+    recorder=None,
 ) -> NewtonResult:
     """Solve ``residual(u) = 0``.
 
@@ -63,9 +66,15 @@ def newton_solve(
         appropriate under pseudo-transient globalisation, where the
         timestep term keeps full steps safe and the search is a
         safeguard only.
+    recorder:
+        Optional :class:`repro.telemetry.TraceRecorder`: residual
+        evaluations are recorded under the ``flux`` phase and the
+        ``newton_iterations`` / ``function_evals`` counters accumulate.
     """
+    rec = recorder if recorder is not None else NULL_RECORDER
     u = np.array(u0, dtype=np.float64)
-    f = residual(u)
+    with rec.span("flux"):
+        f = residual(u)
     fevals = 1
     fnorm0 = float(np.linalg.norm(f))
     resnorms = [fnorm0]
@@ -74,18 +83,22 @@ def newton_solve(
     steps: list[float] = []
 
     if fnorm0 <= target:
+        rec.count("function_evals", fevals)
         return NewtonResult(u=u, converged=True, iterations=0,
                             residual_norms=resnorms, function_evals=fevals)
 
     for it in range(1, max_newton + 1):
-        delta, lits = solve_linear(u, f)
+        with rec.span("krylov"):
+            delta, lits = solve_linear(u, f)
         lin_its += lits
+        rec.count("newton_iterations", 1)
         fnorm = resnorms[-1]
         s = 1.0
         if line_search:
             for _ in range(max_backtracks):
                 trial = u + s * delta
-                ftrial = residual(trial)
+                with rec.span("flux"):
+                    ftrial = residual(trial)
                 fevals += 1
                 if float(np.linalg.norm(ftrial)) <= (1 - armijo * s) * fnorm:
                     break
@@ -94,16 +107,19 @@ def newton_solve(
             f = ftrial  # residual at the accepted point
         else:
             u = u + delta
-            f = residual(u)
+            with rec.span("flux"):
+                f = residual(u)
             fevals += 1
         steps.append(s)
         fnew = float(np.linalg.norm(f))
         resnorms.append(fnew)
         if fnew <= target:
+            rec.count("function_evals", fevals)
             return NewtonResult(u=u, converged=True, iterations=it,
                                 residual_norms=resnorms,
                                 linear_iterations=lin_its,
                                 function_evals=fevals, step_lengths=steps)
+    rec.count("function_evals", fevals)
     return NewtonResult(u=u, converged=False, iterations=max_newton,
                         residual_norms=resnorms, linear_iterations=lin_its,
                         function_evals=fevals, step_lengths=steps)

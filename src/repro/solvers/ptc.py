@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.telemetry.recorder import NULL_RECORDER
+
 __all__ = ["PTCConfig", "SERController"]
 
 
@@ -47,11 +49,15 @@ class SERController:
 
     Call :meth:`update` with each new nonlinear residual norm; read
     :attr:`cfl` for the CFL to use on the next pseudo-timestep and
-    :attr:`second_order` for the active discretisation order.
+    :attr:`second_order` for the active discretisation order.  With a
+    telemetry ``recorder`` attached, ``ser_updates`` and
+    ``order_switches`` counters accumulate per update (the controller
+    has no timed phase of its own, so it records no spans).
     """
 
     config: PTCConfig
     fnorm0: float | None = None
+    recorder: object | None = None
     cfl: float = field(init=False)
     second_order: bool = field(init=False)
     history: list[float] = field(default_factory=list)
@@ -69,10 +75,13 @@ class SERController:
         if self.fnorm0 is None:
             self.fnorm0 = max(fnorm, 1e-300)
         self.history.append(fnorm)
+        rec = self.recorder if self.recorder is not None else NULL_RECORDER
+        rec.count("ser_updates", 1)
         cfg = self.config
         if (not self.second_order and cfg.switch_order_drop is not None
                 and fnorm <= cfg.switch_order_drop * self.fnorm0):
             self.second_order = True
+            rec.count("order_switches", 1)
         p = cfg.exponent
         if not self.second_order and cfg.first_order_exponent is not None:
             p = cfg.first_order_exponent

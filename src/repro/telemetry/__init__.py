@@ -1,0 +1,58 @@
+"""Solver telemetry: measured phase times, counters, and efficiency.
+
+The observability layer of the ΨNKS stack.  Where
+:mod:`repro.parallel` *models* where parallel time goes, this package
+*measures* it from instrumented executions — the distinction the
+paper's Table 3 lives on (its efficiency factorisation
+``eta_overall = eta_alg x eta_impl`` is computed from measured
+iteration counts and measured phase times):
+
+* :mod:`repro.telemetry.recorder` — :class:`TraceRecorder` (nestable
+  phase spans, per-rank counters, max-over-ranks wait accounting) and
+  the :data:`NULL_RECORDER` no-op default every hook substitutes;
+* :mod:`repro.telemetry.trace` — the JSON trace document (schema
+  validation, atomic writes, CI-diffable like ``BENCH_kernels.json``);
+* :mod:`repro.telemetry.report` — the measured efficiency
+  decomposition and its Table-3-style formatting;
+* :mod:`repro.telemetry.spmdrun` — the instrumented SPMD replay that
+  turns one solve's phase pattern into a recorded trace (imported
+  lazily: it pulls in the solver stack).
+
+Instrumentation hooks live at the call sites —
+:class:`repro.core.driver.NKSSolver`, the Krylov solvers, the Schwarz
+preconditioner, and the SPMD kernels all take ``recorder=``.
+"""
+
+from repro.telemetry.recorder import (KNOWN_PHASES, NULL_RECORDER,
+                                      NullRecorder, TraceRecorder)
+from repro.telemetry.report import (SPMD_PHASES, MeasuredRow,
+                                    format_measured_table, measured_rows,
+                                    measured_wall)
+from repro.telemetry.trace import (TRACE_SCHEMA_VERSION, load_trace,
+                                   validate_trace, write_trace)
+
+__all__ = [
+    "KNOWN_PHASES",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TRACE_SCHEMA_VERSION",
+    "validate_trace",
+    "write_trace",
+    "load_trace",
+    "SPMD_PHASES",
+    "MeasuredRow",
+    "measured_rows",
+    "measured_wall",
+    "format_measured_table",
+    "replay_spmd_solve",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: spmdrun imports the euler/precond/parallel stack, which
+    # itself imports this package for NULL_RECORDER.
+    if name == "replay_spmd_solve":
+        from repro.telemetry.spmdrun import replay_spmd_solve
+        return replay_spmd_solve
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

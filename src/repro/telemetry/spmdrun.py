@@ -1,0 +1,94 @@
+"""Instrumented SPMD replay: measure the phases Table 3 attributes.
+
+The modelled Table 3 (:mod:`repro.parallel.simulate`) replays an NKS
+solve's communication/compute pattern through an alpha-beta machine
+model.  This module replays the *same* pattern through the real
+rank-local kernels of :mod:`repro.parallel.spmd` with a
+:class:`~repro.telemetry.recorder.TraceRecorder` attached, so every
+quantity the model predicts is instead observed:
+
+* per-rank ``flux`` / ``matvec`` compute spans and their
+  max-over-ranks implicit-synchronisation waits (load imbalance);
+* ``ghost_exchange`` payloads — messages and bytes counted in the
+  receive direction, matching ``GhostExchangePlan``;
+* ``allreduce`` reduction counts (the SER norm plus the
+  orthogonalisation dots per linear iteration);
+* ``jacobian`` assembly, ``precond_setup`` factorisation, and
+  per-subdomain ``trisolve`` spans from the real ASM preconditioner
+  (subdomain index = would-be MPI rank).
+
+The step structure mirrors :func:`repro.parallel.simulate.simulate_solve`
+(flux evaluations per step, reductions per linear iteration, lagged
+Jacobian refresh) so measured and modelled traces are phase-for-phase
+comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.euler.discretization import EdgeFVDiscretization
+from repro.parallel.spmd import (GhostExchange, SPMDLayout,
+                                 distributed_dot, distributed_matvec,
+                                 distributed_residual)
+from repro.precond.asm import ASMConfig, AdditiveSchwarz
+from repro.telemetry.recorder import TraceRecorder
+
+__all__ = ["replay_spmd_solve"]
+
+
+def replay_spmd_solve(disc: EdgeFVDiscretization, labels: np.ndarray,
+                      its_per_step: list[int], qglobal: np.ndarray,
+                      recorder: TraceRecorder, *,
+                      fill_level: int = 1, overlap: int = 0,
+                      cfl: float = 10.0,
+                      flux_evals_per_step: int = 2,
+                      reductions_per_linear_it: int = 2,
+                      refresh_every: int = 2) -> GhostExchange:
+    """Execute one solve's phase pattern on the SPMD kernels, recording.
+
+    ``its_per_step`` carries the algorithmic content — the per-step
+    linear iteration counts of a *real* run with this partition (see
+    :func:`repro.experiments.common.measured_linear_iterations`); the
+    replay executes that many distributed matvec / preconditioner /
+    reduction rounds with strictly rank-local data.  Returns the
+    :class:`GhostExchange` (its ``messages`` / ``bytes_moved`` totals
+    mirror the recorder's counters).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    layout = SPMDLayout.build(disc.mesh.edges, labels)
+    ncomp = disc.ncomp
+    ex = GhostExchange(layout, ncomp, recorder=recorder)
+    q = np.asarray(qglobal, dtype=np.float64).ravel()
+
+    pc: AdditiveSchwarz | None = None
+    jac = None
+    for step, nits in enumerate(its_per_step):
+        # Residual evaluations (each refreshes the ghosts).
+        r = q
+        for _ in range(flux_evals_per_step):
+            r = distributed_residual(disc, layout, q, ex, recorder=recorder)
+        # One norm per step for the SER controller.
+        distributed_dot(layout, r, r, ncomp, recorder=recorder)
+
+        # Lagged Jacobian + preconditioner refresh.
+        if pc is None or step % refresh_every == 0:
+            with recorder.span("jacobian"):
+                jac = disc.shifted_jacobian(q, cfl)
+            if pc is None:
+                pc = AdditiveSchwarz(
+                    labels,
+                    ASMConfig(overlap=overlap, fill_level=fill_level),
+                    graph=disc.mesh.vertex_graph(),
+                    recorder=recorder)
+            pc.setup(jac)          # records precond_setup internally
+
+        # Krylov iterations: scatter + matvec, subdomain trisolves,
+        # then the orthogonalisation reductions.
+        x = r
+        for _ in range(nits):
+            y = distributed_matvec(jac, layout, x, ex, recorder=recorder)
+            x = pc.solve(y)        # records per-subdomain trisolve spans
+            for _ in range(reductions_per_linear_it):
+                distributed_dot(layout, x, x, ncomp, recorder=recorder)
+    return ex

@@ -6,14 +6,19 @@ the sequential kernels bit for bit, and the observed communication
 matches the cost model's GhostExchangePlan.
 """
 
+import copy
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.euler import wing_problem
 from repro.parallel import (GhostExchange, SPMDLayout, build_exchange_plan,
                             distributed_dot, distributed_matvec,
                             distributed_residual)
 from repro.partition import kway_partition, pmetis_partition
+from repro.telemetry import TraceRecorder
 
 
 @pytest.fixture(scope="module")
@@ -112,6 +117,30 @@ class TestExchangeAccounting:
         distributed_residual(prob.disc, layout, q, ex)
         assert ex.bytes_moved == plan.ghosts.sum() * 4 * 8
 
+    def test_counters_mirror_recorder(self, setup):
+        """GhostExchange totals and TraceRecorder counters agree."""
+        prob, _, layout, q = setup
+        rec = TraceRecorder()
+        ex = GhostExchange(layout, 4, recorder=rec)
+        distributed_residual(prob.disc, layout, q, ex, recorder=rec)
+        assert rec.counter("messages") == ex.messages
+        assert rec.counter("bytes") == ex.bytes_moved
+        # One span per receiving rank per refresh (messages are finer:
+        # one per (receiver, owner) pair).
+        with_ghosts = sum(1 for rd in layout.ranks if rd.ghosts.size)
+        assert rec.phase_calls("ghost_exchange") == with_ghosts
+
+    def test_stale_layout_raises(self, setup):
+        """A ghost attributed to a rank that does not own it must be a
+        hard error, not a silently-wrong searchsorted gather."""
+        prob, _, layout, q = setup
+        bad = copy.deepcopy(layout)
+        rd = bad.ranks[0]
+        nranks = len(bad.ranks)
+        rd.ghost_owner[0] = (rd.ghost_owner[0] + 1) % nranks
+        with pytest.raises(ValueError, match="stale SPMD layout"):
+            distributed_residual(prob.disc, bad, q)
+
     def test_exchange_overwrites_stale_ghosts(self, setup):
         prob, _, layout, q = setup
         local = [np.full((rd.n_local, 4), np.nan) for rd in layout.ranks]
@@ -122,3 +151,64 @@ class TestExchangeAccounting:
         for rd, lq in zip(layout.ranks, local):
             assert not np.isnan(lq).any()
             assert np.array_equal(lq[rd.n_owned:], qr[rd.ghosts])
+
+
+class TestDtypePreservation:
+    """Working precision follows the vector (paper Sec. 3.2's knob):
+    fp32 state in, fp32 residual/matvec out — the NaN scratch fill and
+    the accumulators must not promote to float64."""
+
+    @settings(deadline=None, max_examples=8)
+    @given(dtype=st.sampled_from([np.float32, np.float64]),
+           nparts=st.integers(2, 6), seed=st.integers(0, 100))
+    def test_residual_preserves_dtype(self, setup, dtype, nparts, seed):
+        prob, _, _, q = setup
+        labels = kway_partition(prob.mesh.vertex_graph(), nparts, seed=seed)
+        layout = SPMDLayout.build(prob.mesh.edges, labels)
+        r = distributed_residual(prob.disc, layout, q.astype(dtype))
+        assert r.dtype == dtype
+        r64 = distributed_residual(prob.disc, layout, q.astype(np.float64))
+        assert np.allclose(r, r64, atol=1e-3 if dtype == np.float32
+                           else 1e-14)
+
+    @settings(deadline=None, max_examples=8)
+    @given(dtype=st.sampled_from([np.float32, np.float64]),
+           nparts=st.integers(2, 6), seed=st.integers(0, 100))
+    def test_matvec_preserves_dtype(self, setup, dtype, nparts, seed):
+        prob, _, _, q = setup
+        labels = kway_partition(prob.mesh.vertex_graph(), nparts, seed=seed)
+        layout = SPMDLayout.build(prob.mesh.edges, labels)
+        jac = prob.disc.assemble_jacobian(q)
+        x = np.random.default_rng(seed).standard_normal(
+            jac.shape[0]).astype(dtype)
+        y = distributed_matvec(jac, layout, x)
+        assert y.dtype == dtype
+        assert np.allclose(y, jac @ x.astype(np.float64),
+                           atol=1e-2 if dtype == np.float32 else 1e-12)
+
+
+class TestInstrumentedIdentity:
+    def test_residual_bitwise_identical_with_recorder(self, setup):
+        prob, _, layout, q = setup
+        plain = distributed_residual(prob.disc, layout, q)
+        rec = TraceRecorder()
+        traced = distributed_residual(prob.disc, layout, q,
+                                      GhostExchange(layout, 4, recorder=rec),
+                                      recorder=rec)
+        assert np.array_equal(plain, traced)     # bitwise
+        assert rec.phase_seconds("flux") > 0
+        assert rec.wait_seconds("flux") >= 0
+        assert len(rec.ranks("flux")) == len(layout.ranks)
+
+    def test_matvec_and_dot_bitwise_identical_with_recorder(self, setup):
+        prob, _, layout, q = setup
+        jac = prob.disc.assemble_jacobian(q)
+        x = np.random.default_rng(3).standard_normal(jac.shape[0])
+        rec = TraceRecorder()
+        assert np.array_equal(distributed_matvec(jac, layout, x),
+                              distributed_matvec(jac, layout, x,
+                                                 recorder=rec))
+        assert distributed_dot(layout, x, x, 4) == \
+            distributed_dot(layout, x, x, 4, recorder=rec)
+        assert rec.phase_calls("matvec") == len(layout.ranks)
+        assert rec.counter("reductions") == 1
