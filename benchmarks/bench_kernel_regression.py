@@ -27,8 +27,12 @@ import argparse
 import numpy as np
 
 from repro.euler.problems import wing_problem
+from repro.memory import MemoryHierarchy
+from repro.memory.tlb import tlb_sim
+from repro.memory.trace import flux_loop_trace, spmv_bsr_trace
 from repro.partition.kway import kway_partition
 from repro.perf import compare_kernels, time_kernel, write_report
+from repro.perfmodel.machines import ORIGIN2000_R10K
 from repro.precond.asm import AdditiveSchwarz, ASMConfig
 from repro.solvers import KrylovWorkspace, gmres, gmres_ref
 from repro.solvers.krylov_base import OperatorFromMatrix
@@ -98,6 +102,41 @@ def run(size: int, repeats: int, out: str | None) -> dict:
         "jacobian_assembly",
         lambda: disc.shifted_jacobian(q, cfl=50.0),
         repeats=repeats).as_dict()
+
+    # --- Fig. 3 memory-hierarchy simulation: oracle vs fast engine ----
+    # The Fig. 3 workload: flux-loop + blocked-SpMV address traces of
+    # this mesh through the R10000 cache/TLB models, with capacities
+    # scaled to keep the cache-to-working-set ratio of the paper's
+    # 22,677-vertex mesh.
+    flux_trace = flux_loop_trace(mesh.edges, mesh.num_vertices, disc.ncomp,
+                                 interlaced=True)
+    spmv_trace = spmv_bsr_trace(jac)
+    machine = ORIGIN2000_R10K.scaled_caches(22677 / mesh.num_vertices)
+
+    def sim_hierarchy(engine: str):
+        h = MemoryHierarchy(machine.l1, machine.l2, machine.tlb,
+                            engine=engine)
+        h.run(flux_trace)
+        h.run(spmv_trace)
+        return h.counters
+
+    kernels["cache_sim_fig3"] = compare_kernels(
+        "cache_sim_fig3",
+        lambda: sim_hierarchy("ref"),
+        lambda: sim_hierarchy("fast"),
+        repeats=repeats)
+
+    def sim_tlb(engine: str):
+        t = tlb_sim(machine.tlb, engine=engine)
+        t.access(flux_trace)
+        t.access(spmv_trace)
+        return t.misses
+
+    kernels["tlb_sim_fig3"] = compare_kernels(
+        "tlb_sim_fig3",
+        lambda: sim_tlb("ref"),
+        lambda: sim_tlb("fast"),
+        repeats=repeats)
 
     # --- one Newton step's linear work: refresh + GMRES(30) cycle ----
     # Pre-PR leg: full preconditioner re-setup (symbolic + row-loop

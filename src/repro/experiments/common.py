@@ -39,13 +39,15 @@ class ExperimentResult:
         return [r[i] for r in self.rows]
 
 
-def scaled_hierarchy(machine: MachineSpec, factor: float) -> MemoryHierarchy:
+def scaled_hierarchy(machine: MachineSpec, factor: float,
+                     engine: str = "fast") -> MemoryHierarchy:
     """A fresh memory hierarchy with the machine's caches scaled down by
     ``factor`` (meshes are scaled down by roughly the same factor, so
     the cache-to-working-set ratio — which controls miss behaviour —
-    is preserved).  ``factor=1`` uses the real geometry."""
+    is preserved).  ``factor=1`` uses the real geometry; ``engine``
+    picks the trace simulator (fast vectorised vs reference oracle)."""
     m = machine if factor == 1 else machine.scaled_caches(factor)
-    return MemoryHierarchy(m.l1, m.l2, m.tlb)
+    return MemoryHierarchy(m.l1, m.l2, m.tlb, engine=engine)
 
 
 def default_wing(size: str = "small", **kw) -> FlowProblem:

@@ -50,7 +50,7 @@ def x_gather_trace(a: CSRMatrix, layout: TraceLayout | None = None
 def run_eq_bounds(*, n: int = 4096, nnz_per_row: int = 12,
                   cache: CacheConfig | None = None,
                   bandwidths=(256, 512, 1024, 2048, 4096),
-                  seed: int = 0) -> ExperimentResult:
+                  seed: int = 0, engine: str = "fast") -> ExperimentResult:
     """Sweep the gather span beta across the cache capacity."""
     cache = cache or CacheConfig("L", 8 * 1024, 32, 2)   # 1024 words
     result = ExperimentResult(
@@ -62,7 +62,7 @@ def run_eq_bounds(*, n: int = 4096, nnz_per_row: int = 12,
     for beta in bandwidths:
         a = banded_matrix(n, beta, nnz_per_row, seed=seed)
         trace = x_gather_trace(a)
-        c = simulate_trace(trace, cache)
+        c = simulate_trace(trace, cache, engine=engine)
         compulsory = int(np.unique(trace // cache.line_bytes).size)
         bound = conflict_miss_bound(n, beta, cache)
         ok = c.misses <= bound + compulsory

@@ -10,9 +10,13 @@ models with the R10000's geometry.  Miss counts — and especially miss
 the simulation reproduces exactly.
 """
 
-from repro.memory.cache import CacheConfig, CacheSim, simulate_trace
-from repro.memory.tlb import TLBConfig, tlb_sim
+from repro.memory.cache import (CacheConfig, CacheSim, make_cache_sim,
+                                simulate_trace)
+from repro.memory.fastsim import FastCacheSim, collapse_trace, \
+    fast_simulate_trace
+from repro.memory.tlb import TLBConfig, simulate_tlb, tlb_sim
 from repro.memory.hierarchy import MemoryHierarchy, HierarchyCounters
+from repro.memory.counters import hierarchy_counters
 from repro.memory.trace import (
     TraceLayout,
     spmv_csr_trace,
@@ -23,11 +27,17 @@ from repro.memory.trace import (
 __all__ = [
     "CacheConfig",
     "CacheSim",
+    "FastCacheSim",
+    "make_cache_sim",
     "simulate_trace",
+    "fast_simulate_trace",
+    "collapse_trace",
     "TLBConfig",
     "tlb_sim",
+    "simulate_tlb",
     "MemoryHierarchy",
     "HierarchyCounters",
+    "hierarchy_counters",
     "TraceLayout",
     "spmv_csr_trace",
     "spmv_bsr_trace",

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CacheConfig", "CacheSim", "simulate_trace", "CacheCounters"]
+__all__ = ["CacheConfig", "CacheSim", "simulate_trace", "CacheCounters",
+           "make_cache_sim"]
 
 
 @dataclass(frozen=True)
@@ -123,8 +124,27 @@ class CacheSim:
         return CacheCounters(accesses=self.accesses, misses=self.misses)
 
 
-def simulate_trace(addresses: np.ndarray, config: CacheConfig) -> CacheCounters:
+def make_cache_sim(config: CacheConfig, engine: str = "fast"):
+    """Build a simulator for ``config``.
+
+    ``engine="fast"`` returns the vectorised
+    :class:`repro.memory.fastsim.FastCacheSim` (bitwise-identical
+    counters, array-at-a-time); ``engine="ref"`` returns this module's
+    per-reference :class:`CacheSim` oracle.
+    """
+    if engine == "ref":
+        return CacheSim(config)
+    if engine == "fast":
+        # Imported lazily: fastsim depends on this module's dataclasses.
+        from repro.memory.fastsim import FastCacheSim
+        return FastCacheSim(config)
+    raise ValueError(f"unknown cache engine {engine!r} "
+                     "(expected 'fast' or 'ref')")
+
+
+def simulate_trace(addresses: np.ndarray, config: CacheConfig,
+                   engine: str = "fast") -> CacheCounters:
     """One-shot simulation of a full trace through a cold cache."""
-    sim = CacheSim(config)
+    sim = make_cache_sim(config, engine)
     sim.access(addresses)
     return sim.counters

@@ -13,9 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.memory.cache import CacheConfig, CacheCounters, CacheSim
+from repro.memory.cache import CacheConfig, CacheCounters, make_cache_sim
 
-__all__ = ["TLBConfig", "tlb_sim", "tlb_cache_config"]
+__all__ = ["TLBConfig", "tlb_sim", "tlb_cache_config", "simulate_tlb"]
 
 
 @dataclass(frozen=True)
@@ -40,12 +40,18 @@ def tlb_cache_config(cfg: TLBConfig) -> CacheConfig:
                        line_bytes=cfg.page_bytes, associativity=cfg.entries)
 
 
-def tlb_sim(cfg: TLBConfig) -> CacheSim:
-    """A fresh TLB simulator (CacheSim with one fully-associative set)."""
-    return CacheSim(tlb_cache_config(cfg))
+def tlb_sim(cfg: TLBConfig, engine: str = "fast"):
+    """A fresh TLB simulator (a cache sim with one fully-associative set).
+
+    ``engine="fast"`` (default) is the vectorised stack-distance
+    engine; ``engine="ref"`` the per-reference :class:`CacheSim`
+    oracle.  Both produce identical counters.
+    """
+    return make_cache_sim(tlb_cache_config(cfg), engine)
 
 
-def simulate_tlb(addresses: np.ndarray, cfg: TLBConfig) -> CacheCounters:
-    sim = tlb_sim(cfg)
+def simulate_tlb(addresses: np.ndarray, cfg: TLBConfig,
+                 engine: str = "fast") -> CacheCounters:
+    sim = tlb_sim(cfg, engine)
     sim.access(addresses)
     return sim.counters

@@ -42,7 +42,7 @@ import numpy as np
 from repro.euler.discretization import EdgeFVDiscretization
 from repro.graph.adjacency import Graph
 from repro.sparse.bsr import BSRMatrix
-from repro.sparse.segsum import segment_sum
+from repro.sparse.segsum import concat_ranges, segment_sum
 from repro.telemetry.recorder import NULL_RECORDER
 
 __all__ = ["RankLocalData", "SPMDLayout", "GhostExchange",
@@ -283,13 +283,18 @@ def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
         with rec.span("matvec", rank=rd.rank) as sp:
             lut = np.full(a.nbrows, -1, dtype=np.int64)
             lut[rd.local_vertices] = np.arange(rd.n_local)
-            for pos, i in enumerate(rd.owned):
-                s, e = a.indptr[i], a.indptr[i + 1]
-                cols = lut[a.indices[s:e]]
-                if np.any(cols < 0):
-                    raise ValueError("matrix couples beyond the ghost layer")
-                y[i] = np.einsum("kij,kj->i", a.data[s:e],
-                                 local_x[rd.rank][cols])
+            # All owned block rows as one flat batch: gather the block
+            # entries of every row, block-gemv them, segment-sum per row.
+            starts = a.indptr[rd.owned]
+            counts = a.indptr[rd.owned + 1] - starts
+            flat = concat_ranges(starts, counts)
+            cols = lut[a.indices[flat]]
+            if np.any(cols < 0):
+                raise ValueError("matrix couples beyond the ghost layer")
+            prods = np.einsum("kij,kj->ki", a.data[flat],
+                              local_x[rd.rank][cols])
+            seg = np.repeat(np.arange(rd.owned.size, dtype=np.int64), counts)
+            y[rd.owned] = segment_sum(seg, prods, rd.owned.size)
         per_rank_s[rd.rank] = sp.elapsed
     rec.record_wait("matvec", per_rank_s)
     return y.ravel()

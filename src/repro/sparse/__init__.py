@@ -21,6 +21,8 @@ from repro.sparse.layouts import (
 )
 from repro.sparse.spmv import (
     spmv_csr_numpy,
+    spmv_csr,
+    spmv_csr_ref,
     spmv_csr_loop,
     spmv_bsr_numpy,
     spmv_cost,
@@ -28,7 +30,7 @@ from repro.sparse.spmv import (
 from repro.sparse.ilu import (ilu_symbolic, ILUFactorCSR, ILUFactorBSR,
                               ilu_csr, ilu_bsr, ilu_csr_ref, ilu_bsr_ref,
                               EliminationSchedule, compile_elimination_schedule)
-from repro.sparse.trisolve import level_schedule
+from repro.sparse.trisolve import level_schedule, level_schedule_ref
 from repro.sparse.precision import StoragePrecision
 
 __all__ = [
@@ -40,6 +42,8 @@ __all__ = [
     "interlaced_csr_from_bsr",
     "field_split_csr_from_bsr",
     "spmv_csr_numpy",
+    "spmv_csr",
+    "spmv_csr_ref",
     "spmv_csr_loop",
     "spmv_bsr_numpy",
     "spmv_cost",
@@ -53,5 +57,6 @@ __all__ = [
     "ILUFactorCSR",
     "ILUFactorBSR",
     "level_schedule",
+    "level_schedule_ref",
     "StoragePrecision",
 ]

@@ -18,7 +18,33 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["segment_sum", "flat_segment_index"]
+__all__ = ["segment_sum", "flat_segment_index", "concat_ranges"]
+
+
+def concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(s, s + c)`` for each start/count pair.
+
+    The gather-index builder behind every "process these row/segment
+    slices as one flat batch" kernel (triangular-solve levels, ILU
+    elimination stages, per-rank SpMV rows, cache-simulator bucket
+    corrections).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    # Zero-length ranges contribute nothing but would alias the offset
+    # positions below (duplicate fancy-index writes); drop them first.
+    nz = counts > 0
+    if not nz.all():
+        starts, counts = starts[nz], counts[nz]
+    out = np.ones(total, dtype=np.int64)
+    offsets = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    out[offsets] = starts
+    out[offsets[1:]] -= starts[:-1] + counts[:-1] - 1
+    return np.cumsum(out)
 
 
 def flat_segment_index(index: np.ndarray, trailing: int) -> np.ndarray:

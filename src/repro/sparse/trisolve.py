@@ -10,17 +10,19 @@ the way we keep the Python implementation fast.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
-from repro.sparse.segsum import segment_sum
+from repro.sparse.segsum import concat_ranges, segment_sum
 
-__all__ = ["level_schedule", "lower_solve_csr", "upper_solve_csr",
-           "lower_solve_blocks", "upper_solve_blocks"]
+__all__ = ["level_schedule", "level_schedule_ref", "lower_solve_csr",
+           "upper_solve_csr", "lower_solve_blocks", "upper_solve_blocks"]
 
 
-def level_schedule(indptr: np.ndarray, indices: np.ndarray,
-                   reverse: bool = False) -> list[np.ndarray]:
-    """Dependency levels of a triangular sparsity pattern.
+def level_schedule_ref(indptr: np.ndarray, indices: np.ndarray,
+                       reverse: bool = False) -> list[np.ndarray]:
+    """Reference per-row dependency scan (the semantics oracle).
 
     For a lower-triangular pattern (strictly lower entries only),
     ``level[i] = 1 + max(level[j] for j in row i)``; rows of equal
@@ -43,6 +45,68 @@ def level_schedule(indptr: np.ndarray, indices: np.ndarray,
     return [g.astype(np.int64) for g in np.split(order, boundaries)]
 
 
+# Schedules keyed by a digest of the pattern; ILU reuses the same four
+# triangular patterns on every Jacobian refresh, so a handful of slots
+# suffices.  Entries are immutable-by-convention (callers only read).
+_LEVEL_MEMO: dict[tuple, list[np.ndarray]] = {}
+_LEVEL_MEMO_MAX = 16
+
+
+def level_schedule(indptr: np.ndarray, indices: np.ndarray,
+                   reverse: bool = False) -> list[np.ndarray]:
+    """Dependency levels of a triangular pattern, vectorised + memoised.
+
+    Same contract as :func:`level_schedule_ref` (the per-row oracle),
+    computed by breadth-first Kahn wavefronts: all zero-indegree rows
+    form level 0; each sweep decrements the indegree of every successor
+    of the current frontier in one segmented pass, and rows whose last
+    dependency just resolved form the next level.  The wavefront order
+    is dependency-driven, so the same code serves lower and upper
+    (``reverse=True``) patterns.  Results are memoised on a digest of
+    the pattern arrays — ILU refactorisations recompute values, never
+    structure, so repeated calls are dictionary lookups.
+    """
+    indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+    indices = np.ascontiguousarray(indices, dtype=np.int64)
+    h = hashlib.sha1(indptr.tobytes())
+    h.update(indices.tobytes())
+    key = (bool(reverse), h.hexdigest())
+    cached = _LEVEL_MEMO.get(key)
+    if cached is not None:
+        return cached
+
+    n = indptr.size - 1
+    if n == 0:
+        return [np.empty(0, dtype=np.int64)]
+    deg = np.diff(indptr)
+    # Reverse adjacency: successors of j = rows whose pattern holds j.
+    row_of = np.repeat(np.arange(n, dtype=np.int64), deg)
+    order = np.argsort(indices, kind="stable")
+    succ = row_of[order]
+    succ_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(indices, minlength=n), out=succ_ptr[1:])
+
+    deg = deg.copy()
+    levels: list[np.ndarray] = []
+    frontier = np.flatnonzero(deg == 0)
+    while frontier.size:
+        levels.append(frontier)
+        deg[frontier] = -1           # mark processed
+        starts = succ_ptr[frontier]
+        counts = succ_ptr[frontier + 1] - starts
+        touched = succ[concat_ranges(starts, counts)]
+        if touched.size == 0:
+            break
+        deg -= np.bincount(touched, minlength=n)
+        cand = np.unique(touched)    # ascending, like the oracle's order
+        frontier = cand[deg[cand] == 0]
+
+    if _LEVEL_MEMO_MAX and len(_LEVEL_MEMO) >= _LEVEL_MEMO_MAX:
+        _LEVEL_MEMO.pop(next(iter(_LEVEL_MEMO)))
+    _LEVEL_MEMO[key] = levels
+    return levels
+
+
 def _row_dot(indptr, indices, data, x, rows):
     """sum_j data[i,j] * x[j] for each i in rows, vectorised."""
     starts = indptr[rows]
@@ -57,21 +121,12 @@ def _row_dot(indptr, indices, data, x, rows):
 
 
 def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Concatenation of ``arange(s, s + c)`` for each start/count pair."""
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    # Zero-length ranges contribute nothing but would alias the offset
-    # positions below (duplicate fancy-index writes); drop them first.
-    nz = counts > 0
-    if not nz.all():
-        starts, counts = starts[nz], counts[nz]
-    out = np.ones(total, dtype=np.int64)
-    offsets = np.zeros(counts.size, dtype=np.int64)
-    np.cumsum(counts[:-1], out=offsets[1:])
-    out[offsets] = starts
-    out[offsets[1:]] -= starts[:-1] + counts[:-1] - 1
-    return np.cumsum(out)
+    """Concatenation of ``arange(s, s + c)`` for each start/count pair.
+
+    Alias of :func:`repro.sparse.segsum.concat_ranges`, kept for the
+    existing trisolve/ILU call sites.
+    """
+    return concat_ranges(starts, counts)
 
 
 def lower_solve_csr(indptr, indices, data, b, levels) -> np.ndarray:
