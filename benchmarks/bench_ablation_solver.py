@@ -9,7 +9,6 @@ from conftest import run_once
 from repro.core import NKSSolver, SolverConfig
 from repro.core.config import PreconditionerConfig
 from repro.euler.problems import wing_problem
-from repro.experiments.common import solve_with_partition
 from repro.solvers.ptc import PTCConfig
 
 

@@ -1,6 +1,5 @@
 """Fig. 5: initial-CFL effect on pseudo-transient convergence."""
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments.fig5 import run_fig5

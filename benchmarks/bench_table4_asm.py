@@ -1,6 +1,5 @@
 """Table 4: Additive Schwarz overlap x ILU fill level trade-off."""
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments.table4 import run_table4

@@ -113,7 +113,7 @@ class NKSSolver:
 
     def __init__(self, disc: EdgeFVDiscretization,
                  config: SolverConfig | None = None,
-                 recorder=None) -> None:
+                 recorder=NULL_RECORDER) -> None:
         self.disc = disc
         self.config = config or SolverConfig()
         self.recorder = recorder if recorder is not None else NULL_RECORDER

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.experiments.common import ExperimentResult
 from repro.memory.cache import CacheConfig, simulate_trace
-from repro.memory.trace import TraceLayout, spmv_csr_trace, _bases
+from repro.memory.trace import TraceLayout,  _bases
 from repro.perfmodel.spmv_model import conflict_miss_bound
 from repro.sparse.csr import CSRMatrix
 

@@ -9,7 +9,7 @@ solver runs at several initial CFL values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

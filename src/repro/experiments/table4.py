@@ -14,7 +14,6 @@ work/communication surcharge.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.common import (ExperimentResult, default_wing,
                                       solve_with_partition)

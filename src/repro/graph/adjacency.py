@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.sparse.segsum import segment_sum
+
 __all__ = ["Graph", "graph_from_edges", "graph_from_csr"]
 
 
@@ -171,8 +173,9 @@ def graph_from_edges(num_vertices: int, edges: np.ndarray,
     hi = np.maximum(edges[:, 0], edges[:, 1])
     key = lo * np.int64(num_vertices) + hi
     uniq, inverse = np.unique(key, return_inverse=True)
-    wsum = np.zeros(uniq.size, dtype=np.int64)
-    np.add.at(wsum, inverse, w)
+    # Weight accumulation as a segment sum: integer weights sum exactly
+    # through bincount's float64 accumulator (well under 2**53).
+    wsum = segment_sum(inverse, w, uniq.size)
     lo = (uniq // num_vertices).astype(np.int64)
     hi = (uniq % num_vertices).astype(np.int64)
     # Symmetrise: each edge contributes two arcs.
@@ -182,6 +185,7 @@ def graph_from_edges(num_vertices: int, edges: np.ndarray,
     order = np.lexsort((dst, src))
     src, dst, aw = src[order], dst[order], aw[order]
     xadj = np.zeros(num_vertices + 1, dtype=np.int64)
+    # lint: scatter-ok (one-shot CSR xadj construction, not a hot path)
     np.add.at(xadj, src + 1, 1)
     np.cumsum(xadj, out=xadj)
     return Graph(xadj=xadj, adjncy=dst, vwgt=vwgt, ewgt=aw)

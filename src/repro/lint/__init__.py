@@ -1,0 +1,40 @@
+"""reprolint — AST-based invariant checks for this repo's kernel
+contracts.
+
+The paper's performance argument rests on disciplined memory behaviour,
+and PRs 1-3 turned that discipline into conventions: vectorised kernels
+keep ``*_ref`` oracles with equivalence tests, SPMD kernels honour the
+input dtype, hot paths use ``np.bincount`` segment sums rather than
+``np.add.at``, and telemetry defaults to the no-op recorder.  This
+package checks those conventions mechanically (cf. PyCECT's approach of
+turning "is the port still correct?" into an automated gate):
+
+== =================== ===============================================
+id name                invariant
+== =================== ===============================================
+R001 oracle-pairing      every public ``*_ref`` has a fast twin and
+                         both are exercised by tests
+R002 dtype-discipline    kernel-module array constructors state their
+                         dtype; no float64-scalar promotion
+R003 hot-loop            no Python for/while on kernel hot paths
+R004 scatter-add         ``np.<ufunc>.at`` only in setup-only code
+R005 telemetry           ``recorder`` defaults to NULL_RECORDER; no
+                         direct clocks in kernels; seeded RNG only
+== =================== ===============================================
+
+Run ``python -m repro.lint src/`` (see ``--help``); annotate deliberate
+exceptions with ``# lint:`` pragmas (:mod:`repro.lint.model`); register
+new rules in :mod:`repro.lint.rules`.
+"""
+
+from repro.lint.baseline import (filter_findings, load_baseline,
+                                 write_baseline)
+from repro.lint.engine import collect_test_names, discover_files, run_lint
+from repro.lint.model import Finding, ModuleInfo, parse_module
+from repro.lint.registry import ProjectInfo, Rule, all_rules, rule
+
+__all__ = [
+    "Finding", "ModuleInfo", "ProjectInfo", "Rule", "all_rules",
+    "collect_test_names", "discover_files", "filter_findings",
+    "load_baseline", "parse_module", "rule", "run_lint", "write_baseline",
+]

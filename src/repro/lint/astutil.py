@@ -1,0 +1,52 @@
+"""Small AST helpers shared by the rules (numpy alias tracking etc.)."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["numpy_aliases", "is_numpy_attr", "attr_chain", "top_level_defs"]
+
+
+def numpy_aliases(tree: ast.Module | None) -> set[str]:
+    """Names the module binds to the numpy package (``np``, ``numpy``)."""
+    out: set[str] = set()
+    if tree is None:
+        return out
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    out.add(alias.asname or "numpy")
+    return out
+
+
+def attr_chain(node: ast.expr) -> list[str] | None:
+    """``np.random.default_rng`` -> ``["np", "random", "default_rng"]``;
+    None when the expression is not a pure dotted name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def is_numpy_attr(node: ast.expr, aliases: set[str],
+                  *path: str) -> bool:
+    """True when ``node`` is exactly ``<numpy-alias>.path[0].path[1]...``."""
+    chain = attr_chain(node)
+    return (chain is not None and len(chain) == 1 + len(path)
+            and chain[0] in aliases and tuple(chain[1:]) == path)
+
+
+def top_level_defs(tree: ast.Module | None) -> dict[str, ast.FunctionDef]:
+    """Top-level function definitions by name (async included)."""
+    out: dict[str, ast.FunctionDef] = {}
+    if tree is None:
+        return out
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out[node.name] = node
+    return out

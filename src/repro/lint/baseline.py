@@ -1,0 +1,58 @@
+"""Baseline (ratchet) files: suppress known debt, block new debt.
+
+A baseline is a JSON document holding finding fingerprints.  Runs with
+``--baseline FILE`` drop any finding whose fingerprint the file lists,
+so a tree with existing debt can turn the linter on immediately and
+ratchet the list down to empty — new findings still fail.  The loader
+also accepts the linter's own ``--format json`` report (it extracts the
+fingerprints from ``findings``), so a report round-trips into a
+baseline directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.model import Finding
+
+__all__ = ["load_baseline", "write_baseline", "filter_findings"]
+
+SCHEMA_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Fingerprints from a baseline file or a JSON findings report."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: baseline must be a JSON object")
+    if "fingerprints" in doc:
+        fps = doc["fingerprints"]
+        if (not isinstance(fps, list)
+                or not all(isinstance(f, str) for f in fps)):
+            raise ValueError(f"{path}: 'fingerprints' must be a list of "
+                             f"strings")
+        return set(fps)
+    if "findings" in doc:
+        try:
+            return {Finding.from_dict(d).fingerprint
+                    for d in doc["findings"]}
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"{path}: malformed findings entry: {exc}")
+    raise ValueError(f"{path}: neither 'fingerprints' nor 'findings' key")
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Write the ratchet file for the given findings (sorted, unique)."""
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "fingerprints": sorted({f.fingerprint for f in findings}),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def filter_findings(findings: Iterable[Finding],
+                    baseline: set[str]) -> list[Finding]:
+    """Findings not suppressed by the baseline."""
+    return [f for f in findings if f.fingerprint not in baseline]

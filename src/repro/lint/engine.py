@@ -1,0 +1,116 @@
+"""The lint engine: file discovery, rule driving, pragma auditing.
+
+Besides the registered rules, the engine itself emits ``R000``
+(pragma/parse errors): a module that does not parse or a pragma with an
+unknown token cannot be trusted to suppress anything, so both are
+findings rather than silent no-ops — a typo'd ``# lint: lop-ok`` fails
+the build instead of quietly not suppressing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.model import Finding, ModuleInfo, parse_module
+from repro.lint.registry import ProjectInfo, all_rules
+
+__all__ = ["discover_files", "collect_test_names", "run_lint"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache",
+              "node_modules"}
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    seen: dict[Path, None] = {}
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            for root, dirnames, filenames in os.walk(p):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d not in _SKIP_DIRS
+                                     and not d.startswith("."))
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        seen.setdefault(Path(root) / fn)
+        elif p.suffix == ".py":
+            seen.setdefault(p)
+    return list(seen)
+
+
+def _rel(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def collect_test_names(tests_dir: Path) -> set[str]:
+    """Every identifier appearing in the test tree (names, attributes,
+    and imported symbols) — the cross-reference set for R001."""
+    import ast
+
+    names: set[str] = set()
+    for path in discover_files([tests_dir]):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[-1])
+    return names
+
+
+def _pragma_findings(module: ModuleInfo) -> Iterable[Finding]:
+    counts: dict = {}
+    if module.syntax_error is not None:
+        yield module.finding("R000", 1, 0,
+                             f"module does not parse: {module.syntax_error}",
+                             counts)
+    for line, msg in module.bad_pragmas:
+        yield module.finding("R000", line, 0, msg, counts)
+
+
+def run_lint(paths: Sequence[str | Path],
+             tests_dir: str | Path | None = "tests",
+             select: Iterable[str] | None = None) -> list[Finding]:
+    """Lint ``paths`` and return findings sorted by location.
+
+    ``tests_dir`` feeds R001's "exercised by tests" cross-reference;
+    pass None (or a missing directory) to relax that requirement.
+    ``select`` restricts to the given rule ids (R000 always runs).
+    """
+    modules = [parse_module(p, _rel(p)) for p in discover_files(paths)]
+    wanted = set(select) if select is not None else None
+
+    tests_seen = False
+    test_names: set[str] = set()
+    if tests_dir is not None:
+        tdir = Path(tests_dir)
+        if tdir.is_dir():
+            tests_seen = True
+            test_names = collect_test_names(tdir)
+
+    findings: list[Finding] = []
+    for module in modules:
+        findings.extend(_pragma_findings(module))
+
+    project = ProjectInfo(modules, test_names=test_names,
+                          tests_seen=tests_seen)
+    for rule_obj in all_rules():
+        if wanted is not None and rule_obj.id not in wanted:
+            continue
+        for module in modules:
+            findings.extend(rule_obj.check_module(module))
+        findings.extend(rule_obj.finalize(project))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

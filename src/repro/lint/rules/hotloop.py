@@ -1,0 +1,66 @@
+"""R003 — no Python loops on kernel hot paths.
+
+The repo's kernels are numpy-vectorised; a Python ``for``/``while``
+over mesh- or nnz-sized data reintroduces the interpreter into an
+O(n) path (the exact regressions PRs 1 and 3 removed).  In modules
+marked ``# lint: kernel`` this rule flags every ``for``/``while``
+statement inside a function, except
+
+* functions named ``*_ref`` — the row-by-row oracles are loops by
+  design, that is their job — and
+* loops annotated ``# lint: loop-ok (reason)``: outer iteration loops
+  (Krylov restarts, wavefront levels, SPMD ranks) are O(iterations),
+  not O(n), and the justification should say which.
+
+Module-level loops (import-time setup) and comprehensions are not
+flagged; a comprehension building an O(n) object in a kernel shows up
+through R002/R004 pressure instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.model import ModuleInfo
+from repro.lint.registry import Rule, rule
+
+__all__ = ["HotLoop"]
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@rule
+class HotLoop(Rule):
+    id = "R003"
+    name = "hot-loop"
+    summary = ("no Python for/while inside kernel-module functions "
+               "(oracles *_ref exempt)")
+
+    def check_module(self, module: ModuleInfo):
+        if not module.is_kernel or module.tree is None:
+            return
+        counts: dict = {}
+        yield from self._visit(module, module.tree, in_function=False,
+                               counts=counts)
+
+    def _visit(self, module: ModuleInfo, node: ast.AST, in_function: bool,
+               counts: dict):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNCS):
+                if child.name.endswith("_ref"):
+                    continue                      # oracles loop by design
+                yield from self._visit(module, child, True, counts)
+            elif isinstance(child, _LOOPS) and in_function:
+                if not module.suppressed(self.id, child.lineno):
+                    kind = "while" if isinstance(child, ast.While) else "for"
+                    yield module.finding(
+                        self.id, child.lineno, child.col_offset,
+                        f"Python '{kind}' loop in a kernel module — "
+                        f"vectorise (segment_sum / concat_ranges / "
+                        f"einsum), move it to a *_ref oracle, or mark an "
+                        f"O(iterations) outer loop with "
+                        f"'# lint: loop-ok (reason)'", counts)
+                yield from self._visit(module, child, in_function, counts)
+            else:
+                yield from self._visit(module, child, in_function, counts)

@@ -1,0 +1,75 @@
+"""R001 — oracle pairing.
+
+Repo contract (PRs 1-3): every vectorised kernel keeps its pre-refactor
+implementation as a ``*_ref`` oracle, and a test compares the two.  An
+oracle without a fast twin is dead weight; a pair nobody tests is an
+equivalence claim nobody checks.  For every public top-level
+``def NAME_ref`` this rule requires
+
+* a fast twin ``NAME`` defined in the same module or a sibling module
+  of the same package (``gmres_ref`` lives in ``solvers/_reference.py``
+  while ``gmres`` lives in ``solvers/gmres.py``), and
+* both names to appear in at least one discovered test module.
+
+Underscore-private ``_helper_ref`` functions are internal details of a
+reference implementation, not public oracles, and are exempt.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePosixPath
+
+from repro.lint.astutil import top_level_defs
+from repro.lint.model import  ModuleInfo
+from repro.lint.registry import ProjectInfo, Rule, rule
+
+__all__ = ["OraclePairing"]
+
+
+@rule
+class OraclePairing(Rule):
+    id = "R001"
+    name = "oracle-pairing"
+    summary = ("every public *_ref oracle has a same-package fast twin "
+               "and both are exercised by tests")
+
+    def __init__(self) -> None:
+        # package dir -> {function name -> (module, lineno)}
+        self._defs: dict[str, dict[str, tuple[ModuleInfo, int]]] = {}
+        self._counts: dict[str, dict] = {}       # module.rel -> occurrences
+
+    def check_module(self, module: ModuleInfo):
+        pkg = str(PurePosixPath(module.rel).parent)
+        bucket = self._defs.setdefault(pkg, {})
+        for name, node in top_level_defs(module.tree).items():
+            bucket.setdefault(name, (module, node.lineno))
+        self._counts[module.rel] = {}
+        return ()
+
+    def finalize(self, project: ProjectInfo):
+        for pkg, defs in sorted(self._defs.items()):
+            for name, (module, lineno) in sorted(defs.items()):
+                if not name.endswith("_ref") or name.startswith("_"):
+                    continue
+                if module.suppressed(self.id, lineno):
+                    continue
+                twin = name[: -len("_ref")]
+                counts = self._counts[module.rel]
+                if twin not in defs:
+                    yield module.finding(
+                        self.id, lineno, 0,
+                        f"oracle '{name}' has no fast twin '{twin}' in "
+                        f"package '{pkg}' — vectorise it or fold the "
+                        f"oracle into its kernel's module", counts)
+                    continue
+                if not project.tests_seen:
+                    continue
+                missing = [n for n in (name, twin)
+                           if n not in project.test_names]
+                if missing:
+                    yield module.finding(
+                        self.id, lineno, 0,
+                        f"oracle pair ('{name}', '{twin}') is not "
+                        f"exercised by any test module (missing: "
+                        f"{', '.join(missing)}) — add an equivalence "
+                        f"test", counts)

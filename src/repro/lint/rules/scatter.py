@@ -1,0 +1,55 @@
+"""R004 — scatter-add discipline.
+
+``np.<ufunc>.at`` runs through numpy's buffered-ufunc fallback and is
+an order of magnitude slower than the ``np.bincount`` segment sums the
+repo standardised on (:mod:`repro.sparse.segsum`); PR 1 converted every
+hot-path occurrence.  This rule flags any ``np.add.at`` (or any other
+``ufunc.at``) unless
+
+* the module is marked ``# lint: setup`` — construction-only code
+  (mesh metrics, partitioning) runs once and may keep the clearer
+  scatter form — or
+* the statement carries ``# lint: scatter-ok (reason)`` stating why it
+  is not on a repeated path (e.g. CSR/BSR pattern construction).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import attr_chain, numpy_aliases
+from repro.lint.model import ModuleInfo
+from repro.lint.registry import Rule, rule
+
+__all__ = ["ScatterAdd"]
+
+
+@rule
+class ScatterAdd(Rule):
+    id = "R004"
+    name = "scatter-add"
+    summary = ("np.<ufunc>.at only in setup-only code; hot paths use "
+               "segment_sum (np.bincount)")
+
+    def check_module(self, module: ModuleInfo):
+        if module.is_setup or module.tree is None:
+            return
+        aliases = numpy_aliases(module.tree)
+        if not aliases:
+            return
+        counts: dict = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if (chain is None or len(chain) != 3 or chain[0] not in aliases
+                    or chain[2] != "at"):
+                continue
+            if module.suppressed(self.id, node.lineno):
+                continue
+            yield module.finding(
+                self.id, node.lineno, node.col_offset,
+                f"'{'.'.join(chain)}' scatter — use "
+                f"repro.sparse.segsum.segment_sum on hot paths, or mark "
+                f"setup-only code with '# lint: scatter-ok (reason)' / a "
+                f"module-level '# lint: setup' marker", counts)

@@ -1,0 +1,119 @@
+"""R005 — telemetry discipline.
+
+PR 2's contract: instrumentation must be impossible to leave on by
+accident and must never perturb numerics.  Concretely,
+
+* every ``recorder`` parameter (function argument or dataclass field)
+  defaults to ``NULL_RECORDER`` — the no-op recorder — so the
+  uninstrumented tier-1 path is the default everywhere;
+* kernel modules do not read the wall clock directly
+  (``time.time``/``perf_counter``/...): timing belongs to
+  :mod:`repro.perf.timers` and the recorder, so traces have one clock
+  and kernels stay replayable;
+* no legacy global-state ``np.random.*`` calls anywhere — seeded
+  ``np.random.default_rng(seed)`` generators keep every run (and every
+  recorded trace) deterministic.
+
+Suppress a deliberate exception with ``# lint: telemetry-ok (reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import attr_chain, numpy_aliases
+from repro.lint.model import ModuleInfo
+from repro.lint.registry import Rule, rule
+
+__all__ = ["TelemetryDiscipline"]
+
+_CLOCKS = frozenset({"time", "perf_counter", "monotonic", "process_time",
+                     "thread_time"})
+_RNG_OK = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+
+def _is_null_recorder(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    chain = attr_chain(node)
+    return chain is not None and chain[-1] == "NULL_RECORDER"
+
+
+def _recorder_args(node: ast.FunctionDef | ast.AsyncFunctionDef):
+    """Yield ``(arg, default-or-None)`` for args named 'recorder'."""
+    a = node.args
+    positional = a.posonlyargs + a.args
+    defaults = [None] * (len(positional) - len(a.defaults)) + list(a.defaults)
+    for arg, default in zip(positional, defaults):
+        if arg.arg == "recorder":
+            yield arg, default
+    for arg, default in zip(a.kwonlyargs, a.kw_defaults):
+        if arg.arg == "recorder":
+            yield arg, default
+
+
+@rule
+class TelemetryDiscipline(Rule):
+    id = "R005"
+    name = "telemetry-discipline"
+    summary = ("recorder params default to NULL_RECORDER; no direct "
+               "clocks in kernels; no global-state np.random")
+
+    def check_module(self, module: ModuleInfo):
+        if module.tree is None:
+            return
+        aliases = numpy_aliases(module.tree)
+        counts: dict = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg, default in _recorder_args(node):
+                    if _is_null_recorder(default):
+                        continue
+                    if module.suppressed(self.id, arg.lineno):
+                        continue
+                    what = ("has no default" if default is None
+                            else "defaults to something else")
+                    yield module.finding(
+                        self.id, arg.lineno, arg.col_offset,
+                        f"'recorder' parameter of '{node.name}' {what} — "
+                        f"default it to NULL_RECORDER so uninstrumented "
+                        f"runs are the no-op path", counts)
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    target = None
+                    value = None
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                            stmt.target, ast.Name):
+                        target, value = stmt.target, stmt.value
+                    elif (isinstance(stmt, ast.Assign)
+                          and len(stmt.targets) == 1
+                          and isinstance(stmt.targets[0], ast.Name)):
+                        target, value = stmt.targets[0], stmt.value
+                    if (target is not None and target.id == "recorder"
+                            and not _is_null_recorder(value)
+                            and not module.suppressed(self.id, stmt.lineno)):
+                        yield module.finding(
+                            self.id, stmt.lineno, stmt.col_offset,
+                            f"'recorder' field of '{node.name}' must "
+                            f"default to NULL_RECORDER", counts)
+            elif isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if chain is None:
+                    continue
+                if (module.is_kernel and len(chain) == 2
+                        and chain[0] == "time" and chain[1] in _CLOCKS
+                        and not module.suppressed(self.id, node.lineno)):
+                    yield module.finding(
+                        self.id, node.lineno, node.col_offset,
+                        f"direct clock read 'time.{chain[1]}' in a kernel "
+                        f"module — time through repro.perf.timers / the "
+                        f"recorder so traces stay consistent", counts)
+                if (len(chain) == 3 and chain[0] in aliases
+                        and chain[1] == "random"
+                        and chain[2] not in _RNG_OK
+                        and not module.suppressed(self.id, node.lineno)):
+                    yield module.finding(
+                        self.id, node.lineno, node.col_offset,
+                        f"global-state '{'.'.join(chain)}' — use a seeded "
+                        f"np.random.default_rng(seed) generator for "
+                        f"deterministic runs and traces", counts)

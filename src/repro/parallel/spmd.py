@@ -35,12 +35,13 @@ modelled :mod:`repro.parallel.simulate` ledgers.
 
 from __future__ import annotations
 
+# lint: kernel (rank-local residual/matvec/exchange; dtype-preserving)
+
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.euler.discretization import EdgeFVDiscretization
-from repro.graph.adjacency import Graph
 from repro.sparse.bsr import BSRMatrix
 from repro.sparse.segsum import concat_ranges, segment_sum
 from repro.telemetry.recorder import NULL_RECORDER
@@ -98,6 +99,7 @@ class SPMDLayout:
         layout = cls(labels=labels)
         la = labels[edges[:, 0]]
         lb = labels[edges[:, 1]]
+        # lint: loop-ok (per-rank layout construction, O(nranks))
         for r in range(nranks):
             owned = np.where(labels == r)[0]
             emask = (la == r) | (lb == r)
@@ -132,7 +134,7 @@ class GhostExchange:
     """
 
     def __init__(self, layout: SPMDLayout, ncomp: int, *,
-                 recorder=None) -> None:
+                 recorder=NULL_RECORDER) -> None:
         self.layout = layout
         self.ncomp = ncomp
         self.messages = 0
@@ -151,10 +153,12 @@ class GhostExchange:
         rec = self.recorder
         per_rank_s = [0.0] * layout.nranks
         # Owner-side lookup: global id -> (rank, owned position).
+        # lint: loop-ok (rank loop of the simulated exchange, O(nranks))
         for r, rd in enumerate(layout.ranks):
             if rd.ghosts.size == 0:
                 continue
             with rec.span("ghost_exchange", rank=r) as sp:
+                # lint: loop-ok (neighbour-owner loop, O(neighbour ranks))
                 for owner in np.unique(rd.ghost_owner):
                     sel = rd.ghost_owner == owner
                     gids = rd.ghosts[sel]
@@ -194,6 +198,7 @@ def _scatter_local_state(layout: SPMDLayout, qglobal: np.ndarray,
     """
     q = qglobal.reshape(-1, ncomp)
     out = []
+    # lint: loop-ok (per-rank scatter of owned rows, O(nranks))
     for rd in layout.ranks:
         local = np.full((rd.n_local, ncomp), np.nan, dtype=q.dtype)
         local[: rd.n_owned] = q[rd.owned]
@@ -204,7 +209,7 @@ def _scatter_local_state(layout: SPMDLayout, qglobal: np.ndarray,
 def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
                          qglobal: np.ndarray,
                          exchange: GhostExchange | None = None,
-                         *, recorder=None) -> np.ndarray:
+                         *, recorder=NULL_RECORDER) -> np.ndarray:
     """First-order residual computed rank by rank on local data.
 
     Each rank evaluates fluxes on its local edge set with purely local
@@ -223,10 +228,11 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
 
     out = np.zeros((disc.mesh.num_vertices, ncomp), dtype=qglobal.dtype)
     per_rank_s = [0.0] * layout.nranks
+    # lint: loop-ok (rank loop of the SPMD residual, O(nranks))
     for rd in layout.ranks:
         with rec.span("flux", rank=rd.rank) as sp:
             if rd.local_edges.size == 0:
-                r_local = np.zeros((rd.n_local, ncomp))
+                r_local = np.zeros((rd.n_local, ncomp), dtype=out.dtype)
             else:
                 ql = local_q[rd.rank][rd.local_edges[:, 0]]
                 qr = local_q[rd.rank][rd.local_edges[:, 1]]
@@ -264,7 +270,7 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
 def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
                        xglobal: np.ndarray,
                        exchange: GhostExchange | None = None,
-                       *, recorder=None) -> np.ndarray:
+                       *, recorder=NULL_RECORDER) -> np.ndarray:
     """y = A x computed rank by rank: each rank holds its owned block
     rows (whose columns reach only owned + ghost vertices) and local x;
     one exchange refreshes the ghosts first.
@@ -279,10 +285,11 @@ def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
     ex.refresh(local_x)
     y = np.zeros((a.nbrows, bs), dtype=xglobal.dtype)
     per_rank_s = [0.0] * layout.nranks
+    # lint: loop-ok (rank loop of the SPMD matvec, O(nranks))
     for rd in layout.ranks:
         with rec.span("matvec", rank=rd.rank) as sp:
             lut = np.full(a.nbrows, -1, dtype=np.int64)
-            lut[rd.local_vertices] = np.arange(rd.n_local)
+            lut[rd.local_vertices] = np.arange(rd.n_local, dtype=np.int64)
             # All owned block rows as one flat batch: gather the block
             # entries of every row, block-gemv them, segment-sum per row.
             starts = a.indptr[rd.owned]
@@ -302,7 +309,7 @@ def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
 
 def distributed_dot(layout: SPMDLayout, xglobal: np.ndarray,
                     yglobal: np.ndarray, ncomp: int,
-                    *, recorder=None) -> float:
+                    *, recorder=NULL_RECORDER) -> float:
     """Global dot product as partial sums over owned rows + allreduce
     (the reduction whose latency Table 3 prices)."""
     rec = recorder if recorder is not None else NULL_RECORDER

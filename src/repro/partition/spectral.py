@@ -14,6 +14,8 @@ converges to the Laplacian's second-smallest eigenpair.
 
 from __future__ import annotations
 
+# lint: setup (Laplacian assembly/eigensolve run at partition time)
+
 import numpy as np
 
 from repro.graph.adjacency import Graph

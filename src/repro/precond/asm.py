@@ -75,7 +75,8 @@ class AdditiveSchwarz:
     """
 
     def __init__(self, labels: np.ndarray, config: ASMConfig | None = None,
-                 graph: Graph | None = None, recorder=None) -> None:
+                 graph: Graph | None = None,
+                 recorder=NULL_RECORDER) -> None:
         self.labels = np.asarray(labels, dtype=np.int64)
         self.config = config or ASMConfig()
         self._graph = graph

@@ -22,6 +22,7 @@ from repro.graph.adjacency import Graph
 from repro.precond.asm import AdditiveSchwarz, ASMConfig
 from repro.sparse.bsr import BSRMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.segsum import segment_sum
 
 __all__ = ["CoarseSpace", "TwoLevelASM"]
 
@@ -40,11 +41,14 @@ class CoarseSpace:
         return self.nparts * self.ncomp
 
     def restrict(self, r: np.ndarray) -> np.ndarray:
-        """R0 r: sum each component over each subdomain."""
+        """R0 r: sum each component over each subdomain.
+
+        Applied on every preconditioner application, so the scatter runs
+        as a bincount segment sum (same accumulation order as
+        ``np.add.at``, an order of magnitude faster).
+        """
         rb = r.reshape(-1, self.ncomp)
-        out = np.zeros((self.nparts, self.ncomp))
-        np.add.at(out, self.labels, rb)
-        return out.ravel()
+        return segment_sum(self.labels, rb, self.nparts).ravel()
 
     def prolong(self, rc: np.ndarray) -> np.ndarray:
         """R0^T rc: broadcast each coarse value to its subdomain."""
@@ -64,6 +68,7 @@ class CoarseSpace:
             # Accumulate each block into its (part_row, part_col) block.
             for i in range(nc):
                 for j in range(nc):
+                    # lint: scatter-ok (coarse-operator assembly, setup only)
                     np.add.at(a0, (pr * nc + i, pc * nc + j),
                               a.data[:, i, j])
         else:
@@ -72,6 +77,7 @@ class CoarseSpace:
             # Scalar matrix: treat as ncomp == 1 regardless.
             if self.ncomp != 1:
                 raise ValueError("scalar matrix requires ncomp == 1")
+            # lint: scatter-ok (coarse-operator assembly, setup only)
             np.add.at(a0, (self.labels[row_of], self.labels[a.indices]),
                       a.data)
         return a0

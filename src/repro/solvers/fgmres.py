@@ -37,7 +37,7 @@ def fgmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
            maxiter: int = 200,
            orthog: Orthogonalization | str = Orthogonalization.MGS,
            workspace: KrylovWorkspace | None = None,
-           recorder=None) -> GMRESResult:
+           recorder=NULL_RECORDER) -> GMRESResult:
     """Solve ``a x = b`` with flexible restarted GMRES.
 
     Same interface as :func:`repro.solvers.gmres.gmres` (including the

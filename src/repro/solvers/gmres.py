@@ -28,7 +28,7 @@ from enum import Enum
 
 import numpy as np
 
-from repro.solvers.krylov_base import LinearOperator, as_operator
+from repro.solvers.krylov_base import  as_operator
 from repro.solvers.workspace import KrylovWorkspace, solve_dtype
 from repro.telemetry.recorder import NULL_RECORDER
 
@@ -65,7 +65,7 @@ def gmres(a, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
           maxiter: int = 200,
           orthog: Orthogonalization | str = Orthogonalization.MGS,
           workspace: KrylovWorkspace | None = None,
-          recorder=None) -> GMRESResult:
+          recorder=NULL_RECORDER) -> GMRESResult:
     """Solve ``a x = b`` with restarted, right-preconditioned GMRES.
 
     Parameters

@@ -45,7 +45,7 @@ def newton_solve(
     line_search: bool = True,
     max_backtracks: int = 8,
     armijo: float = 1e-4,
-    recorder=None,
+    recorder=NULL_RECORDER,
 ) -> NewtonResult:
     """Solve ``residual(u) = 0``.
 

@@ -57,7 +57,7 @@ class SERController:
 
     config: PTCConfig
     fnorm0: float | None = None
-    recorder: object | None = None
+    recorder: object = NULL_RECORDER
     cfl: float = field(init=False)
     second_order: bool = field(init=False)
     history: list[float] = field(default_factory=list)

@@ -9,6 +9,8 @@ The SpMV cost model in perfmodel/spmv_model.py quantifies exactly that.
 
 from __future__ import annotations
 
+# lint: kernel (BSR matvec/assembly run inside the solver loop)
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -88,6 +90,7 @@ class BSRMatrix:
         urows = (uniq // nbcols).astype(np.int64)
         ucols = (uniq % nbcols).astype(np.int64)
         indptr = np.zeros(nbrows + 1, dtype=np.int64)
+        # lint: scatter-ok (one-shot COO->BSR indptr construction)
         np.add.at(indptr, urows + 1, 1)
         np.cumsum(indptr, out=indptr)
         return cls(indptr=indptr, indices=ucols, data=summed, nbcols=nbcols)
@@ -104,7 +107,8 @@ class BSRMatrix:
 
     def diag_blocks(self) -> np.ndarray:
         """The (nbrows, bs, bs) diagonal blocks (zeros where absent)."""
-        out = np.zeros((self.nbrows, self.bs, self.bs))
+        out = np.zeros((self.nbrows, self.bs, self.bs),
+                       dtype=self.data.dtype)
         row_of = self.row_of
         mask = row_of == self.indices
         out[row_of[mask]] = self.data[mask]
@@ -126,7 +130,9 @@ class BSRMatrix:
         bs = self.bs
         row_of = self.row_of
         # Each block (I, J) contributes points (I*bs+i, J*bs+j).
-        i_loc, j_loc = np.meshgrid(np.arange(bs), np.arange(bs), indexing="ij")
+        i_loc, j_loc = np.meshgrid(np.arange(bs, dtype=np.int64),
+                                 np.arange(bs, dtype=np.int64),
+                                 indexing="ij")
         rows = (row_of[:, None, None] * bs + i_loc[None]).ravel()
         cols = (self.indices[:, None, None] * bs + j_loc[None]).ravel()
         return CSRMatrix.from_coo(rows, cols, self.data.ravel(),

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+# lint: kernel (CSR matvec/permutation run inside the Krylov loop)
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -78,6 +80,7 @@ class CSRMatrix:
         urows = (uniq // ncols).astype(np.int64)
         ucols = (uniq % ncols).astype(np.int64)
         indptr = np.zeros(nrows + 1, dtype=np.int64)
+        # lint: scatter-ok (one-shot COO->CSR indptr construction)
         np.add.at(indptr, urows + 1, 1)
         np.cumsum(indptr, out=indptr)
         return cls(indptr=indptr, indices=ucols, data=summed, ncols=ncols)
@@ -92,7 +95,7 @@ class CSRMatrix:
     def eye(cls, n: int, value: float = 1.0) -> "CSRMatrix":
         idx = np.arange(n, dtype=np.int64)
         return cls(indptr=np.arange(n + 1, dtype=np.int64), indices=idx,
-                   data=np.full(n, value), ncols=n)
+                   data=np.full(n, value, dtype=np.float64), ncols=n)
 
     # ------------------------------------------------------------------
     def matvec(self, x: np.ndarray) -> np.ndarray:
@@ -104,13 +107,13 @@ class CSRMatrix:
         return y.astype(np.result_type(self.data, x), copy=False)
 
     def to_dense(self) -> np.ndarray:
-        out = np.zeros(self.shape)
+        out = np.zeros(self.shape, dtype=self.data.dtype)
         row_of = self.row_of
         out[row_of, self.indices] = self.data
         return out
 
     def diagonal(self) -> np.ndarray:
-        d = np.zeros(min(self.shape))
+        d = np.zeros(min(self.shape), dtype=self.data.dtype)
         row_of = self.row_of
         mask = row_of == self.indices
         d[row_of[mask]] = self.data[mask]

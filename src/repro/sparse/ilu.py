@@ -25,6 +25,8 @@ created by eliminating column k in row i via u_kj gets level
 
 from __future__ import annotations
 
+# lint: kernel (ILU(k) refactorisation is a per-Newton-step path)
+
 import heapq
 from dataclasses import dataclass
 
@@ -91,6 +93,7 @@ def ilu_symbolic(indptr: np.ndarray, indices: np.ndarray,
     l_rows_cols: list[np.ndarray] = []
     l_rows_levs: list[np.ndarray] = []
 
+    # lint: loop-ok (symbolic ILU(k) level analysis, once per pattern, memoised)
     for i in range(n):
         row = indices[indptr[i] : indptr[i + 1]]
         lev: dict[int, int] = {int(j): 0 for j in row}
@@ -98,6 +101,7 @@ def ilu_symbolic(indptr: np.ndarray, indices: np.ndarray,
         heap = [j for j in lev if j < i]
         heapq.heapify(heap)
         popped: set[int] = set()
+        # lint: loop-ok (pivot heap of the symbolic analysis, once per pattern)
         while heap:
             k = heapq.heappop(heap)
             if k in popped:
@@ -106,6 +110,7 @@ def ilu_symbolic(indptr: np.ndarray, indices: np.ndarray,
             lev_ik = lev[k]
             cols_k = u_cols[k]
             levs_k = u_levs[k]
+            # lint: loop-ok (fill-level merge of the symbolic analysis, once per pattern)
             for t in range(cols_k.size):
                 j = int(cols_k[t])
                 new_lev = lev_ik + int(levs_k[t]) + 1
@@ -240,6 +245,7 @@ def compile_elimination_schedule(pattern: ILUPattern, a_indptr: np.ndarray,
     dst_parts: list[np.ndarray] = []
     src_parts: list[np.ndarray] = []
     kc = np.zeros(nnzl, dtype=np.int64)      # kept updates per elimination
+    # lint: loop-ok (elimination-schedule compilation, once per pattern)
     for i in range(n):
         ls, le = int(l_iptr[i]), int(l_iptr[i + 1])
         us, ue = int(u_iptr[i]), int(u_iptr[i + 1])
@@ -282,6 +288,7 @@ def compile_elimination_schedule(pattern: ILUPattern, a_indptr: np.ndarray,
     # every pivot has a smaller index.
     stage_of = np.empty(nnzl, dtype=np.int64)
     finish = np.zeros(n, dtype=np.int64)
+    # lint: loop-ok (stage assignment of the schedule, once per pattern)
     for i in range(n):
         s, e = int(l_iptr[i]), int(l_iptr[i + 1])
         if s == e:
@@ -295,7 +302,7 @@ def compile_elimination_schedule(pattern: ILUPattern, a_indptr: np.ndarray,
         forder = np.argsort(finish, kind="stable")
         fsorted = finish[forder]
         checks = {int(fsorted[g[0]]): forder[g].astype(np.int64)
-                  for g in np.split(np.arange(n),
+                  for g in np.split(np.arange(n, dtype=np.int64),
                                     np.flatnonzero(np.diff(fsorted)) + 1)}
 
     # Eliminations are grouped by stage; each stage gathers its update
@@ -307,6 +314,7 @@ def compile_elimination_schedule(pattern: ILUPattern, a_indptr: np.ndarray,
         sorted_st = stage_of[order]
         estarts = np.concatenate(
             ([0], np.flatnonzero(np.diff(sorted_st)) + 1, [nnzl]))
+        # lint: loop-ok (per-stage gather-list build, once per pattern)
         for gi in range(estarts.size - 1):
             e0, e1 = int(estarts[gi]), int(estarts[gi + 1])
             elims = order[e0:e1]
@@ -407,9 +415,10 @@ def ilu_csr(a: CSRMatrix, fill_level: int = 0,
         pattern = ilu_symbolic(a.indptr, a.indices, fill_level)
     sched = _schedule_for(pattern, a.indptr, a.indices)
     off_d, off_u = sched.off_diag, sched.off_upper
-    w = np.zeros(sched.nnzl + sched.n + sched.nnzu)
+    w = np.zeros(sched.nnzl + sched.n + sched.nnzu, dtype=np.float64)
     w[sched.a_dst] = a.data[sched.a_src]
     _check_pivots(w, off_d, sched.pre_check)
+    # lint: loop-ok (O(stages) numeric sweep; arithmetic stays fp64 per Table 2)
     for st in sched.stages:
         mult = w[st.lpos] / w[off_d + st.piv]
         w[st.lpos] = mult
@@ -444,9 +453,9 @@ def ilu_csr_ref(a: CSRMatrix, fill_level: int = 0,
     if pattern is None:
         pattern = ilu_symbolic(a.indptr, a.indices, fill_level)
     n = pattern.n
-    l_data = np.zeros(pattern.l_indices.size)
-    u_data = np.zeros(pattern.u_indices.size)
-    diag = np.zeros(n)
+    l_data = np.zeros(pattern.l_indices.size, dtype=np.float64)
+    u_data = np.zeros(pattern.u_indices.size, dtype=np.float64)
+    diag = np.zeros(n, dtype=np.float64)
     # Position map col -> slot in the current working row.
     pos = np.full(n, -1, dtype=np.int64)
     for i in range(n):
@@ -455,10 +464,10 @@ def ilu_csr_ref(a: CSRMatrix, fill_level: int = 0,
         lcols = pattern.l_indices[ls:le]
         ucols = pattern.u_indices[us:ue]
         nl = lcols.size
-        w = np.zeros(nl + 1 + ucols.size)
-        pos[lcols] = np.arange(nl)
+        w = np.zeros(nl + 1 + ucols.size, dtype=np.float64)
+        pos[lcols] = np.arange(nl, dtype=np.int64)
         pos[i] = nl
-        pos[ucols] = nl + 1 + np.arange(ucols.size)
+        pos[ucols] = nl + 1 + np.arange(ucols.size, dtype=np.int64)
         # Scatter A's row i.
         acols, avals = a.row(i)
         slots = pos[acols]
@@ -556,11 +565,13 @@ def ilu_bsr(a: BSRMatrix, fill_level: int = 0,
     sched = _schedule_for(pattern, a.indptr, a.indices)
     bs = a.bs
     off_d, off_u = sched.off_diag, sched.off_upper
-    w = np.zeros((sched.nnzl + sched.n + sched.nnzu, bs, bs))
+    w = np.zeros((sched.nnzl + sched.n + sched.nnzu, bs, bs),
+                 dtype=np.float64)
     w[sched.a_dst] = a.data[sched.a_src]
-    inv_diag = np.empty((sched.n, bs, bs))
+    inv_diag = np.empty((sched.n, bs, bs), dtype=np.float64)
     if sched.pre_check.size:
         inv_diag[sched.pre_check] = np.linalg.inv(w[off_d + sched.pre_check])
+    # lint: loop-ok (O(stages) numeric sweep; arithmetic stays fp64 per Table 2)
     for st in sched.stages:
         mult = np.matmul(w[st.lpos], inv_diag[st.piv])
         w[st.lpos] = mult
@@ -592,9 +603,11 @@ def ilu_bsr_ref(a: BSRMatrix, fill_level: int = 0,
         pattern = ilu_symbolic(a.indptr, a.indices, fill_level)
     n = pattern.n
     bs = a.bs
-    l_data = np.zeros((pattern.l_indices.size, bs, bs))
-    u_data = np.zeros((pattern.u_indices.size, bs, bs))
-    inv_diag = np.zeros((n, bs, bs))
+    l_data = np.zeros((pattern.l_indices.size, bs, bs),
+                      dtype=np.float64)
+    u_data = np.zeros((pattern.u_indices.size, bs, bs),
+                      dtype=np.float64)
+    inv_diag = np.zeros((n, bs, bs), dtype=np.float64)
     pos = np.full(n, -1, dtype=np.int64)
     for i in range(n):
         ls, le = pattern.l_indptr[i], pattern.l_indptr[i + 1]
@@ -602,10 +615,10 @@ def ilu_bsr_ref(a: BSRMatrix, fill_level: int = 0,
         lcols = pattern.l_indices[ls:le]
         ucols = pattern.u_indices[us:ue]
         nl = lcols.size
-        w = np.zeros((nl + 1 + ucols.size, bs, bs))
-        pos[lcols] = np.arange(nl)
+        w = np.zeros((nl + 1 + ucols.size, bs, bs), dtype=np.float64)
+        pos[lcols] = np.arange(nl, dtype=np.int64)
         pos[i] = nl
-        pos[ucols] = nl + 1 + np.arange(ucols.size)
+        pos[ucols] = nl + 1 + np.arange(ucols.size, dtype=np.int64)
         s, e = a.indptr[i], a.indptr[i + 1]
         acols = a.indices[s:e]
         slots = pos[acols]

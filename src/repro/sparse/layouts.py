@@ -15,6 +15,8 @@ Jacobian can be stored three ways:
 
 from __future__ import annotations
 
+# lint: kernel (field-interlacing layouts feed the assembly hot path)
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -71,6 +73,7 @@ def block_structure_from_edges(num_vertices: int, edges: np.ndarray) -> BlockStr
     urows = (sorted_key // num_vertices).astype(np.int64)
     ucols = (sorted_key % num_vertices).astype(np.int64)
     indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    # lint: scatter-ok (one-shot pattern construction from edges)
     np.add.at(indptr, urows + 1, 1)
     np.cumsum(indptr, out=indptr)
     n = num_vertices
@@ -90,7 +93,7 @@ def assemble_bsr(structure: BlockStructure, bs: int,
                  off_ji: np.ndarray) -> BSRMatrix:
     """Assemble a BSR matrix from per-vertex diagonal blocks and
     per-edge off-diagonal blocks (both directions)."""
-    data = np.zeros((structure.nnzb, bs, bs))
+    data = np.zeros((structure.nnzb, bs, bs), dtype=np.float64)
     data[structure.diag_slots] = diag
     data[structure.edge_ij_slots] = off_ij
     data[structure.edge_ji_slots] = off_ji

@@ -9,6 +9,8 @@ essentially unchanged and the iteration count is unaffected.
 
 from __future__ import annotations
 
+# lint: kernel (fp32 factor storage halves trisolve traffic; Table 2)
+
 from enum import Enum
 
 import numpy as np

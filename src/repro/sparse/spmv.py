@@ -9,6 +9,8 @@ time model in :mod:`repro.perfmodel`.
 
 from __future__ import annotations
 
+# lint: kernel (SpMV is the paper's model kernel; Sec. 2.1.1)
+
 from dataclasses import dataclass
 
 import numpy as np

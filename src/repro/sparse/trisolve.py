@@ -10,6 +10,8 @@ the way we keep the Python implementation fast.
 
 from __future__ import annotations
 
+# lint: kernel (bandwidth-bound triangular solves; Table 2)
+
 import hashlib
 
 import numpy as np
@@ -89,6 +91,7 @@ def level_schedule(indptr: np.ndarray, indices: np.ndarray,
     deg = deg.copy()
     levels: list[np.ndarray] = []
     frontier = np.flatnonzero(deg == 0)
+    # lint: loop-ok (Kahn wavefront: one vectorised sweep per level, O(levels))
     while frontier.size:
         levels.append(frontier)
         deg[frontier] = -1           # mark processed
@@ -132,6 +135,7 @@ def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
 def lower_solve_csr(indptr, indices, data, b, levels) -> np.ndarray:
     """Solve L x = b with L unit lower triangular (strict part stored)."""
     x = np.array(b, dtype=np.float64, copy=True)
+    # lint: loop-ok (one vectorised batch per dependency level, O(levels))
     for rows in levels:
         x[rows] -= _row_dot(indptr, indices, data, x, rows)
     return x
@@ -141,6 +145,7 @@ def upper_solve_csr(indptr, indices, data, inv_diag, b, levels) -> np.ndarray:
     """Solve U x = b with U upper triangular; ``indices``/``data`` hold
     the strictly-upper part and ``inv_diag`` the reciprocal diagonal."""
     x = np.array(b, dtype=np.float64, copy=True)
+    # lint: loop-ok (one vectorised batch per dependency level, O(levels))
     for rows in levels:
         x[rows] = (x[rows] - _row_dot(indptr, indices, data, x, rows)) \
             * inv_diag[rows].astype(np.float64, copy=False)
@@ -163,6 +168,7 @@ def _row_dot_blocks(indptr, indices, data, x, rows, bs):
 def lower_solve_blocks(indptr, indices, data, b, levels, bs) -> np.ndarray:
     """Block variant of :func:`lower_solve_csr`; b has shape (nbrows*bs,)."""
     x = np.array(b, dtype=np.float64, copy=True).reshape(-1, bs)
+    # lint: loop-ok (one vectorised batch per dependency level, O(levels))
     for rows in levels:
         x[rows] -= _row_dot_blocks(indptr, indices, data, x, rows, bs)
     return x.ravel()
@@ -172,6 +178,7 @@ def upper_solve_blocks(indptr, indices, data, inv_diag, b, levels, bs) -> np.nda
     """Block variant of :func:`upper_solve_csr`; ``inv_diag`` holds the
     (nbrows, bs, bs) inverses of the diagonal blocks."""
     x = np.array(b, dtype=np.float64, copy=True).reshape(-1, bs)
+    # lint: loop-ok (one vectorised batch per dependency level, O(levels))
     for rows in levels:
         rhs = x[rows] - _row_dot_blocks(indptr, indices, data, x, rows, bs)
         x[rows] = np.einsum("kij,kj->ki",

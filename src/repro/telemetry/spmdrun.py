@@ -39,6 +39,7 @@ __all__ = ["replay_spmd_solve"]
 
 def replay_spmd_solve(disc: EdgeFVDiscretization, labels: np.ndarray,
                       its_per_step: list[int], qglobal: np.ndarray,
+                      # lint: telemetry-ok (the replay exists to record)
                       recorder: TraceRecorder, *,
                       fill_level: int = 1, overlap: int = 0,
                       cfl: float = 10.0,

@@ -1,0 +1,7 @@
+"""Fixture modules for the reprolint regression tests.
+
+Each ``r00X_violating.py`` triggers exactly its rule; each
+``r00X_compliant.py`` is the minimal fix and must lint clean.  The
+files are parsed by the linter, never imported, and their names avoid
+the ``test_*.py`` pattern so pytest does not collect them.
+"""

@@ -1,0 +1,10 @@
+"""R001 fixture: a public ``*_ref`` oracle with no fast twin."""
+
+import numpy as np
+
+
+def decimate_ref(x):
+    out = []
+    for i in range(0, len(x), 2):
+        out.append(x[i])
+    return np.asarray(out)

@@ -1,0 +1,15 @@
+"""R002 fixture: every constructor states its dtype; no promotion."""
+
+# lint: kernel (fixture: pretend this is a hot-path module)
+
+import numpy as np
+
+
+def workspace(n, dtype=np.float64):
+    y = np.zeros(n, dtype=dtype)
+    idx = np.arange(n, dtype=np.int64)
+    return y, idx
+
+
+def scale(x):
+    return x.dtype.type(0.5) * x

@@ -1,0 +1,15 @@
+"""R002 fixture: dtype-blind constructors and fp64-scalar promotion."""
+
+# lint: kernel (fixture: pretend this is a hot-path module)
+
+import numpy as np
+
+
+def workspace(n):
+    y = np.zeros(n)
+    idx = np.arange(n)
+    return y, idx
+
+
+def scale(x):
+    return np.float64(0.5) * x

@@ -1,0 +1,20 @@
+"""R003 fixture: loops confined to the oracle or pragma-justified."""
+
+# lint: kernel (fixture: pretend this is a hot-path module)
+
+import numpy as np
+
+
+def row_sums_ref(indptr, data):
+    out = np.zeros(indptr.size - 1, dtype=np.float64)
+    for i in range(out.size):
+        out[i] = data[indptr[i]:indptr[i + 1]].sum()
+    return out
+
+
+def row_sums(indptr, data, levels):
+    out = np.zeros(indptr.size - 1, dtype=np.float64)
+    # lint: loop-ok (one vectorised batch per level, O(levels))
+    for rows in levels:
+        out[rows] = np.add.reduceat(data, indptr[rows])
+    return out

@@ -1,0 +1,12 @@
+"""R003 fixture: a Python loop on a kernel module's hot path."""
+
+# lint: kernel (fixture: pretend this is a hot-path module)
+
+import numpy as np
+
+
+def row_sums(indptr, data):
+    out = np.zeros(indptr.size - 1, dtype=np.float64)
+    for i in range(out.size):
+        out[i] = data[indptr[i]:indptr[i + 1]].sum()
+    return out

@@ -1,0 +1,15 @@
+"""R004 fixture: bincount segment sum; scatter kept to setup code."""
+
+import numpy as np
+
+
+def accumulate(index, weights, nseg):
+    return np.bincount(index, weights=weights, minlength=nseg)
+
+
+def build_indptr(rows, nrows):
+    indptr = np.zeros(nrows + 1, dtype=np.int64)
+    # lint: scatter-ok (one-shot indptr construction at build time)
+    np.add.at(indptr, rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr

@@ -1,0 +1,9 @@
+"""R004 fixture: an ``np.add.at`` scatter outside setup-only code."""
+
+import numpy as np
+
+
+def accumulate(index, weights, nseg):
+    out = np.zeros(nseg, dtype=np.float64)
+    np.add.at(out, index, weights)
+    return out

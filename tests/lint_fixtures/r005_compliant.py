@@ -1,0 +1,15 @@
+"""R005 fixture: NULL_RECORDER default, recorder-owned timing, seeded
+RNG."""
+
+# lint: kernel (fixture: pretend this is a hot-path module)
+
+import numpy as np
+
+from repro.telemetry.recorder import NULL_RECORDER
+
+
+def perturbed_step(x, recorder=NULL_RECORDER):
+    rng = np.random.default_rng(0)
+    noise = rng.random(x.size, dtype=x.dtype)
+    with recorder.phase("perturb"):
+        return x + noise

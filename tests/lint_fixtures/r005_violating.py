@@ -1,0 +1,13 @@
+"""R005 fixture: None-default recorder, direct clock, unseeded RNG."""
+
+# lint: kernel (fixture: pretend this is a hot-path module)
+
+import time
+
+import numpy as np
+
+
+def perturbed_step(x, recorder=None):
+    t0 = time.perf_counter()
+    noise = np.random.rand(x.size)
+    return x + noise, time.perf_counter() - t0

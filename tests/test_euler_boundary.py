@@ -6,7 +6,7 @@ import pytest
 from repro.euler import (BoundaryCondition, classify_box_boundary,
                          incompressible_freestream, wing_problem)
 from repro.euler.incompressible import IncompressibleEuler
-from repro.mesh import compute_dual_metrics, unit_cube_mesh
+from repro.mesh import compute_dual_metrics
 
 
 class TestClassification:

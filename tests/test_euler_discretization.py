@@ -3,13 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.euler import (CompressibleEuler, IncompressibleEuler,
+from repro.euler import (IncompressibleEuler,
                          classify_box_boundary, duct_problem,
                          incompressible_freestream, wing_problem)
 from repro.euler.reconstruction import (Limiter, green_gauss_gradients,
                                         reconstruct_edge_states)
-from repro.mesh import compute_dual_metrics, unit_cube_mesh
-
 
 class TestFreestreamPreservation:
     """Uniform flow is an exact steady state on an all-farfield box."""

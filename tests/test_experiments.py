@@ -5,7 +5,6 @@ configurations so the harness plumbing (rows, columns, notes,
 assertable shapes) is exercised inside the unit-test budget.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (default_wing, measured_linear_iterations,

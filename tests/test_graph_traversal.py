@@ -1,7 +1,6 @@
 """Unit tests for BFS, components, peripheral nodes, overlap expansion."""
 
 import numpy as np
-import pytest
 
 from repro.graph import (bfs_levels, bfs_order, connected_components,
                          component_sizes, graph_from_edges,

@@ -1,0 +1,207 @@
+"""reprolint: per-rule regressions, CLI behaviour, baseline ratchet.
+
+Each rule is pinned by a violating/compliant fixture pair under
+``tests/lint_fixtures/`` — the violating file must raise *exactly* its
+rule (true positive) and the compliant file must lint clean (false
+positive guard).
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (filter_findings, load_baseline, run_lint,
+                        write_baseline)
+from repro.lint.cli import main as lint_main
+from repro.lint.registry import all_rules
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+RULES = ["R001", "R002", "R003", "R004", "R005"]
+
+
+def lint_fixture(name, **kwargs):
+    kwargs.setdefault("tests_dir", None)
+    return run_lint([FIXTURES / name], **kwargs)
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("rule", RULES)
+    def test_violating_fixture_fires_only_its_rule(self, rule):
+        findings = lint_fixture(f"{rule.lower()}_violating.py")
+        assert findings, f"{rule} fixture raised nothing"
+        assert {f.rule for f in findings} == {rule}
+
+    @pytest.mark.parametrize("rule", RULES)
+    def test_compliant_fixture_is_clean(self, rule):
+        assert lint_fixture(f"{rule.lower()}_compliant.py") == []
+
+    def test_r002_counts_both_bug_classes(self):
+        """Dtype-blind constructors and fp64-scalar promotion are
+        separate findings (zeros, arange, float64*x)."""
+        findings = lint_fixture("r002_violating.py")
+        assert len(findings) == 3
+
+    def test_r005_counts_all_three_contracts(self):
+        """None-default recorder + two clock reads + unseeded RNG."""
+        findings = lint_fixture("r005_violating.py")
+        assert len(findings) == 4
+
+    def test_findings_carry_location_and_fingerprint(self):
+        (finding,) = lint_fixture("r004_violating.py")
+        assert finding.path.endswith("r004_violating.py")
+        assert finding.line > 0
+        assert len(finding.fingerprint) == 16
+        assert "add.at" in finding.message
+
+
+class TestOracleCoverage:
+    def make_project(self, tmp_path, test_body):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text(textwrap.dedent("""\
+            def interp_ref(x):
+                return x
+
+
+            def interp(x):
+                return x
+            """))
+        tdir = tmp_path / "tests"
+        tdir.mkdir()
+        (tdir / "test_mod.py").write_text(test_body)
+        return pkg, tdir
+
+    def test_untested_pair_is_flagged(self, tmp_path):
+        pkg, tdir = self.make_project(tmp_path, "def test_nothing():\n"
+                                                "    assert True\n")
+        (finding,) = run_lint([pkg], tests_dir=tdir)
+        assert finding.rule == "R001"
+        assert "interp_ref" in finding.message
+        assert "equivalence test" in finding.message
+
+    def test_tested_pair_is_clean(self, tmp_path):
+        pkg, tdir = self.make_project(
+            tmp_path,
+            "from pkg.mod import interp, interp_ref\n\n\n"
+            "def test_pair(x):\n    assert interp(x) == interp_ref(x)\n")
+        assert run_lint([pkg], tests_dir=tdir) == []
+
+
+class TestPragmas:
+    def test_unknown_token_is_r000(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("# lint: lop-ok (typo)\nx = 1\n")
+        findings = run_lint([f], tests_dir=None)
+        assert [f.rule for f in findings] == ["R000"]
+        assert "lop-ok" in findings[0].message
+
+    def test_syntax_error_is_r000(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("def broken(:\n")
+        findings = run_lint([f], tests_dir=None)
+        assert [f.rule for f in findings] == ["R000"]
+
+
+class TestFingerprints:
+    def test_stable_under_line_moves(self, tmp_path):
+        f = tmp_path / "mod.py"
+        body = ("import numpy as np\n\n\n"
+                "def acc(out, i, w):\n"
+                "    np.add.at(out, i, w)\n")
+        f.write_text(body)
+        before = {x.fingerprint for x in run_lint([f], tests_dir=None)}
+        f.write_text("# an unrelated comment\n\n" + body)
+        after = {x.fingerprint for x in run_lint([f], tests_dir=None)}
+        assert before == after != set()
+
+    def test_repeated_idioms_stay_distinct(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("import numpy as np\n\n\n"
+                     "def acc2(out, i, w):\n"
+                     "    np.add.at(out, i, w)\n"
+                     "    np.add.at(out, i, w)\n")
+        findings = run_lint([f], tests_dir=None)
+        assert len({x.fingerprint for x in findings}) == 2
+
+
+class TestBaseline:
+    def test_report_round_trips_through_loader(self, tmp_path):
+        findings = lint_fixture("r002_violating.py")
+        report = tmp_path / "report.json"
+        rc = lint_main(["--format", "json", "--tests", "does-not-exist",
+                        str(FIXTURES / "r002_violating.py")])
+        assert rc == 1
+        # Re-render the same findings as the CLI would have.
+        from repro.lint.cli import render_json
+        report.write_text(render_json(findings, 0))
+        fps = load_baseline(report)
+        assert fps == {f.fingerprint for f in findings}
+        assert filter_findings(findings, fps) == []
+
+    def test_write_then_load(self, tmp_path):
+        findings = lint_fixture("r003_violating.py")
+        bl = tmp_path / "baseline.json"
+        write_baseline(bl, findings)
+        assert load_baseline(bl) == {f.fingerprint for f in findings}
+
+    def test_baseline_suppresses_via_cli(self, tmp_path, capsys):
+        bl = tmp_path / "baseline.json"
+        write_baseline(bl, lint_fixture("r004_violating.py"))
+        rc = lint_main(["--tests", "does-not-exist", "--baseline", str(bl),
+                        str(FIXTURES / "r004_violating.py")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "baseline-suppressed" in out
+
+    def test_bad_baseline_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"neither": []}')
+        rc = lint_main(["--baseline", str(bad), str(FIXTURES)])
+        assert rc == 2
+
+
+class TestCli:
+    def test_src_tree_is_clean(self):
+        """The merged tree carries no lint debt: ``python -m repro.lint
+        src/`` exits 0 with no baseline."""
+        env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src"],
+            cwd=REPO, env=env, capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "reprolint: clean" in proc.stdout
+
+    def test_violations_exit_one(self, capsys):
+        rc = lint_main(["--tests", "does-not-exist",
+                        str(FIXTURES / "r001_violating.py")])
+        assert rc == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_json_format_parses(self, capsys):
+        rc = lint_main(["--format", "json", "--tests", "does-not-exist",
+                        str(FIXTURES / "r005_violating.py")])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert doc["counts"] == {"R005": 4}
+
+    def test_select_restricts_rules(self, capsys):
+        rc = lint_main(["--select", "R002", "--tests", "does-not-exist",
+                        str(FIXTURES / "r005_violating.py")])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+    def test_registry_has_five_rules(self):
+        assert [r.id for r in all_rules()] == RULES

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.memory import CacheConfig, CacheSim, simulate_trace
+from repro.memory import CacheConfig,  simulate_trace
 from repro.memory.cache import make_cache_sim
 from repro.memory.tlb import TLBConfig, tlb_cache_config, tlb_sim
 

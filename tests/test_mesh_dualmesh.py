@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mesh import box_mesh, compute_dual_metrics, unit_cube_mesh, wing_mesh
+from repro.mesh import box_mesh, compute_dual_metrics, unit_cube_mesh
 
 
 class TestDualVolumes:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.mesh import (bump_mesh, compute_dual_metrics, load_mesh,
-                        save_mesh, unit_cube_mesh, wing_mesh)
+                        save_mesh, unit_cube_mesh)
 
 
 class TestMeshIO:

@@ -1,7 +1,6 @@
 """Second-order ordering effects: ILU fill, Sloan-as-ordering, IDW."""
 
 import numpy as np
-import pytest
 
 from repro.euler import wing_problem
 from repro.mesh import (VertexOrdering, apply_orderings, order_vertices,

@@ -8,7 +8,7 @@ from repro.parallel import (build_exchange_plan, build_rank_work,
                             network_from_machine, simulate_solve)
 from repro.parallel.netmodel import NetworkModel
 from repro.partition import kway_partition
-from repro.perfmodel import ASCI_RED_PPRO, CRAY_T3E_600
+from repro.perfmodel import ASCI_RED_PPRO
 
 
 @pytest.fixture(scope="module")

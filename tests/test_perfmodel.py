@@ -5,7 +5,7 @@ import pytest
 
 from repro.memory import CacheConfig
 from repro.memory.hierarchy import HierarchyCounters
-from repro.perfmodel import (ASCI_RED_PPRO, BLUE_PACIFIC_604E, CRAY_T3E_600,
+from repro.perfmodel import (ASCI_RED_PPRO, CRAY_T3E_600,
                              MACHINES, ORIGIN2000_R10K, conflict_miss_bound,
                              kernel_time_from_counters, predict_kernel_time,
                              roofline_performance, spmv_bandwidth_mflops,

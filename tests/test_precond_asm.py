@@ -4,10 +4,10 @@ import numpy as np
 import pytest
 
 from repro.partition import kway_partition
-from repro.precond import ASMConfig, AdditiveSchwarz, ASMVariant, BlockJacobi
+from repro.precond import ASMConfig, AdditiveSchwarz, BlockJacobi
 from repro.solvers import gmres
 from repro.sparse import (CSRMatrix, assemble_bsr, block_structure_from_edges,
-                          ilu_csr)
+                          )
 
 
 @pytest.fixture(scope="module")

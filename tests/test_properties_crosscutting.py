@@ -1,7 +1,6 @@
 """Cross-cutting hypothesis property tests over module boundaries."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

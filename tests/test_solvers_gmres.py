@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.precond import BlockJacobi, IdentityPC
+from repro.precond import  IdentityPC
 from repro.solvers import gmres
 from repro.solvers.krylov_base import (OperatorFromCallable,
                                        OperatorFromMatrix, as_operator)

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
 from repro.sparse import CSRMatrix, ilu_bsr, ilu_csr, ilu_symbolic
 from repro.sparse.bsr import BSRMatrix

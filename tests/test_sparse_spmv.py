@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.sparse import (CSRMatrix, spmv_bsr_numpy, spmv_cost,
-                          spmv_csr_loop, spmv_csr_numpy)
+                          spmv_csr, spmv_csr_loop, spmv_csr_numpy,
+                          spmv_csr_ref)
 from repro.sparse.precision import StoragePrecision, storage_dtype, traffic_ratio
 
 
@@ -21,6 +22,18 @@ class TestKernels:
         x = rng.random(40)
         assert np.allclose(spmv_csr_loop(matrix, x),
                            spmv_csr_numpy(matrix, x))
+
+    def test_ref_oracle_matches_vectorised(self, matrix, rng):
+        """The R001 contract pair: spmv_csr against its *_ref oracle."""
+        x = rng.random(40)
+        np.testing.assert_array_equal(spmv_csr(matrix, x),
+                                      spmv_csr_ref(matrix, x))
+
+    def test_row_subset_matches_full_product(self, matrix, rng):
+        x = rng.random(40)
+        rows = np.array([3, 7, 7, 0, 39], dtype=np.int64)
+        np.testing.assert_allclose(spmv_csr(matrix, x, rows=rows),
+                                   spmv_csr_ref(matrix, x)[rows])
 
     def test_bsr_kernel(self, rng):
         from tests.test_sparse_bsr import random_bsr

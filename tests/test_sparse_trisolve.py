@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.sparse.trisolve import (level_schedule, lower_solve_blocks,
-                                   lower_solve_csr, upper_solve_blocks,
-                                   upper_solve_csr)
+from repro.sparse.trisolve import (level_schedule, level_schedule_ref,
+                                   lower_solve_blocks, lower_solve_csr,
+                                   upper_solve_blocks, upper_solve_csr)
 
 
 def random_lower(n, density, seed):
@@ -34,6 +34,19 @@ class TestLevelSchedule:
         levels = level_schedule(indptr, indices)
         allrows = np.concatenate(levels)
         assert np.array_equal(np.sort(allrows), np.arange(20))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_wavefront_matches_ref_oracle(self, seed, reverse):
+        """The R001 contract pair: level_schedule vs its *_ref oracle."""
+        l = random_lower(30, 0.25, seed)
+        tri = l.T if reverse else l
+        indptr, indices, _ = to_csr_parts(tri)
+        got = level_schedule(indptr, indices, reverse=reverse)
+        want = level_schedule_ref(indptr, indices, reverse=reverse)
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g, w)
 
     def test_dependencies_respected(self):
         l = random_lower(25, 0.3, 1)

@@ -5,11 +5,11 @@ import pytest
 
 from repro.euler import (distance2_vertex_coloring, fd_jacobian_colored,
                          wing_problem)
-from repro.graph import (bandwidth, envelope_profile, graph_from_edges,
+from repro.graph import (envelope_profile, graph_from_edges,
                          rcm_ordering, sloan_ordering)
 from repro.mesh import shuffle_vertices, unit_cube_mesh
 from repro.partition import (edge_cut, fiedler_vector, load_imbalance,
-                             partition_quality, spectral_bisect,
+                             spectral_bisect,
                              spectral_partition)
 
 
