@@ -26,16 +26,42 @@ import numpy as np
 
 from repro.core.config import SolverConfig
 from repro.euler.discretization import EdgeFVDiscretization
+from repro.parallel.spmd import (SPMDLayout, distributed_matvec,
+                                 distributed_residual)
 from repro.partition.bisect import pmetis_partition
 from repro.partition.kway import kway_partition
 from repro.precond.asm import AdditiveSchwarz, ASMConfig
 from repro.solvers.gmres import gmres
-from repro.solvers.krylov_base import OperatorFromMatrix
+from repro.solvers.krylov_base import (OperatorFromCallable,
+                                       OperatorFromMatrix)
 from repro.solvers.ptc import SERController
 from repro.solvers.workspace import KrylovWorkspace
 from repro.telemetry.recorder import NULL_RECORDER
 
 __all__ = ["NKSSolver", "SolveReport", "StepRecord"]
+
+
+class _SPMDOperator(OperatorFromCallable):
+    """Krylov operator applying the Jacobian via the SPMD matvec.
+
+    What the executor knob routes GMRES through: the distributed
+    rank-by-rank SpMV (sequential or process-pool backend) instead of
+    the in-process ``A @ x``.  Both backends are bitwise-identical to
+    each other, so 'seq' is the oracle for 'proc' at the solver level.
+    """
+
+    def __init__(self, matrix, layout: SPMDLayout, executor,
+                 recorder=NULL_RECORDER) -> None:
+        super().__init__(self._apply, matrix.shape[0])
+        self.matrix = matrix
+        self.layout = layout
+        self.executor = executor
+        self.recorder = recorder
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return distributed_matvec(self.matrix, self.layout, x,
+                                  executor=self.executor,
+                                  recorder=self.recorder)
 
 
 @dataclass
@@ -121,6 +147,11 @@ class NKSSolver:
         self._pc: AdditiveSchwarz | None = None
         self._ws = KrylovWorkspace()     # Krylov arrays, reused every step
         self._steps_since_refresh = 0
+        # SPMD execution (config.executor 'seq'/'proc'): the Krylov
+        # matvec — and the residual while it is first-order — run on
+        # the distributed rank-local kernels over the partition.
+        self._layout = (SPMDLayout.build(disc.mesh.edges, self._labels)
+                        if self.config.executor != "local" else None)
 
     # ------------------------------------------------------------------
     def _build_labels(self) -> np.ndarray:
@@ -170,15 +201,48 @@ class NKSSolver:
         report = SolveReport(converged=False)
         self._steps_since_refresh = cfg.jacobian_lag  # force initial refresh
 
+        pool = None
+        if cfg.executor == "proc":
+            from repro.parallel.procpool import ProcPool
+            pool = ProcPool(self._layout, self.disc, nworkers=cfg.nworkers)
+        spmd_exec = pool if pool is not None \
+            else ("seq" if cfg.executor == "seq" else None)
+        try:
+            report = self._solve_loop(q, controller, report, cfg, rec,
+                                      spmd_exec, verbose, monitor)
+            if pool is not None:
+                # Merge the workers' telemetry shards (the phase spans
+                # they clocked in their own processes) into ``rec``.
+                pool.collect(rec)
+        finally:
+            if pool is not None:
+                pool.close()
+        return report
+
+    def _solve_loop(self, q, controller, report, cfg, rec, spmd_exec,
+                    verbose, monitor) -> SolveReport:
         for step in range(1, cfg.max_steps + 1):
             # With order switching active, the controller dictates the
             # discretisation order for this step (paper Sec. 2.4.1:
             # first-order until the shock position settles).
             order = (controller.second_order
                      if cfg.ptc.switch_order_drop is not None else None)
+            use2 = self.disc.second_order if order is None else order
             t0 = time.perf_counter()
-            with rec.span("flux"):
-                f = self.disc.residual(q, second_order=order)
+            if spmd_exec is not None and not use2:
+                # First-order residuals decompose exactly over the
+                # partition (the SPMD kernels are first-order), so
+                # they run on the configured backend bitwise-
+                # identically to the in-process evaluation.  Per-rank
+                # flux spans and wait accounting come from the
+                # distributed path itself (inside the workers for
+                # 'proc', merged when the pool is collected).
+                f = distributed_residual(self.disc, self._layout, q,
+                                         executor=spmd_exec,
+                                         recorder=rec)
+            else:
+                with rec.span("flux"):
+                    f = self.disc.residual(q, second_order=order)
             t_flux = time.perf_counter() - t0
             fnorm = float(np.linalg.norm(f))
             if step == 1:
@@ -219,6 +283,9 @@ class NKSSolver:
                 shift = self.disc.timestep_shift(q, cfl)
                 op = self.disc.jacobian_operator(q, shift=shift,
                                                  second_order=order)
+            elif spmd_exec is not None:
+                op = _SPMDOperator(self._jac, self._layout, spmd_exec,
+                                   recorder=rec)
             else:
                 op = OperatorFromMatrix(self._jac)
             with rec.span("krylov"):

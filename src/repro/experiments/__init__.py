@@ -20,7 +20,7 @@ from repro.experiments.table3 import (run_table3, run_table3_measured,
                                       ScalabilityResult,
                                       MeasuredScalabilityResult)
 from repro.experiments.table4 import run_table4
-from repro.experiments.table5 import run_table5
+from repro.experiments.table5 import run_table5, run_table5_measured
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
@@ -37,7 +37,7 @@ __all__ = [
     "run_table3", "run_table3_measured",
     "ScalabilityResult", "MeasuredScalabilityResult",
     "run_table4",
-    "run_table5",
+    "run_table5", "run_table5_measured",
     "run_fig2",
     "run_fig3",
     "run_fig4",

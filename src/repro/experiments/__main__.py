@@ -6,8 +6,15 @@ Usage::
     python -m repro.experiments table3      # run one (prints its table)
     python -m repro.experiments all         # run everything (slow)
 
-Benchmark-grade runs with shape assertions live in ``benchmarks/``;
-this entry point is the quick interactive path.
+Measured experiments take the executor knobs::
+
+    python -m repro.experiments table3-measured --executor proc --workers 2
+    python -m repro.experiments table5-measured --smoke
+
+``--smoke`` shrinks any experiment to its CI-sized variant (fewer
+processor counts, smaller mesh, fewer steps).  Benchmark-grade runs
+with shape assertions live in ``benchmarks/``; this entry point is the
+quick interactive path.
 """
 
 from __future__ import annotations
@@ -18,53 +25,68 @@ import time
 
 from repro.experiments import (run_eq_bounds, run_fig2, run_fig3, run_fig4,
                                run_fig5, run_table1, run_table2, run_table3,
-                               run_table3_measured, run_table4, run_table5)
+                               run_table3_measured, run_table4, run_table5,
+                               run_table5_measured)
 
 
-def _table1():
+def _table1(a):
     # Full-size: the paper's 22,677-vertex mesh (22,680 here) against
     # the unscaled R10000 — routine with the fast trace engine.
     for comp in (False, True):
         yield run_table1(compressible=comp)
 
 
-def _table3():
+def _table3(a):
     yield run_table3(procs=(2, 4, 8, 16, 32), size="medium",
                      max_steps=5).to_table()
 
 
-def _table3_measured():
-    # Quickstart-sized: the replay executes the real SPMD kernels.
-    yield run_table3_measured(procs=(2, 4, 8), size="small",
-                              max_steps=3).to_table()
+def _table3_measured(a):
+    # Quickstart-sized: the replay executes the real SPMD kernels;
+    # --executor proc runs them concurrently in worker processes.
+    procs = (2, 4) if a.smoke else (2, 4, 8)
+    steps = 2 if a.smoke else 3
+    yield run_table3_measured(procs=procs, size="small", max_steps=steps,
+                              executor=a.executor,
+                              nworkers=a.workers).to_table()
 
 
-def _fig1():
+def _table5_measured(a):
+    nodes = (2,) if a.smoke else (2, 4)
+    sweeps = 2 if a.smoke else 5
+    yield run_table5_measured(node_counts=nodes, size="small",
+                              sweeps=sweeps, nworkers=a.workers)
+
+
+def _fig1(a):
     yield run_table3(procs=(2, 4, 8, 16, 32, 64), size="medium",
                      max_steps=5).to_fig1_table()
 
 
-def _fig5():
+def _fig5(a):
     result, _histories = run_fig5()
     yield result
 
 
 EXPERIMENTS = {
     "table1": _table1,
-    "table2": lambda: [run_table2(procs=(4, 8, 16), size="medium",
-                                  max_steps=4)],
+    "table2": lambda a: [run_table2(procs=(4, 8, 16), size="medium",
+                                    max_steps=4)],
     "table3": _table3,
     "table3-measured": _table3_measured,
-    "table4": lambda: [run_table4(procs=(4, 8), size="medium", max_steps=3)],
-    "table5": lambda: [run_table5(node_counts=(4, 8, 16, 32), size="medium")],
+    "table4": lambda a: [run_table4(procs=(4, 8), size="medium",
+                                    max_steps=3)],
+    "table5": lambda a: [run_table5(node_counts=(4, 8, 16, 32),
+                                    size="medium")],
+    "table5-measured": _table5_measured,
     "fig1": _fig1,
-    "fig2": lambda: [run_fig2(procs=(2, 4, 8, 16), size="medium",
-                              max_steps=4)],
-    "fig3": lambda: [run_fig3()],      # full-size mesh, unscaled caches
-    "fig4": lambda: [run_fig4(procs=(2, 4, 8, 16, 32), size="medium",
-                              max_steps=4)],
+    "fig2": lambda a: [run_fig2(procs=(2, 4, 8, 16), size="medium",
+                                max_steps=4)],
+    "fig3": lambda a: [run_fig3()],    # full-size mesh, unscaled caches
+    "fig4": lambda a: [run_fig4(procs=(2, 4, 8, 16, 32), size="medium",
+                                max_steps=4)],
     "fig5": _fig5,
-    "eqbounds": lambda: [run_eq_bounds()],
+    "eqbounds": lambda a: [run_eq_bounds()],
 }
 
 
@@ -75,6 +97,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment", nargs="?",
                         choices=sorted(EXPERIMENTS) + ["all"],
                         help="which experiment to run (omit to list)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized variant (smaller counts/steps)")
+    parser.add_argument("--executor", choices=("seq", "proc"),
+                        default="seq",
+                        help="SPMD backend for measured experiments: "
+                             "in-process rank loop or shared-memory "
+                             "worker processes")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for --executor proc "
+                             "(default 2)")
     args = parser.parse_args(argv)
 
     if args.experiment is None:
@@ -88,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
         else [args.experiment]
     for name in names:
         t0 = time.perf_counter()
-        for result in EXPERIMENTS[name]():
+        for result in EXPERIMENTS[name](args):
             print(result.table())
             print()
         print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")

@@ -168,7 +168,9 @@ class MeasuredScalabilityResult:
 def run_table3_measured(*, procs=(2, 4, 8, 16), size: str = "small",
                         max_steps: int = 4, fill_level: int = 1,
                         seed: int = 0, prob: FlowProblem | None = None,
-                        trace_dir=None) -> MeasuredScalabilityResult:
+                        trace_dir=None, executor: str = "seq",
+                        nworkers: int | None = None
+                        ) -> MeasuredScalabilityResult:
     """Measured-mode Table 3: telemetry instead of the machine model.
 
     For each processor count, the linear-iteration counts of a real
@@ -177,6 +179,12 @@ def run_table3_measured(*, procs=(2, 4, 8, 16), size: str = "small",
     times that eta_impl and the percentage columns are computed from.
     With ``trace_dir`` set, one validated trace JSON per processor
     count is dumped there (``trace_p{p}.json``) for CI diffing.
+
+    ``executor="proc"`` runs the replay's rank kernels concurrently in
+    ``nworkers`` worker processes over shared memory; the per-rank
+    spans in the resulting traces are then *measured inside the
+    workers* (real concurrency, real waits) rather than recorded from
+    a rank-by-rank in-process loop.
     """
     if prob is None:
         prob = default_wing(size, seed=seed)
@@ -189,7 +197,8 @@ def run_table3_measured(*, procs=(2, 4, 8, 16), size: str = "small",
             prob, p, fill_level=fill_level, max_steps=max_steps, seed=seed)
         rec = TraceRecorder()
         replay_spmd_solve(prob.disc, labels, its, q0, rec,
-                          fill_level=fill_level)
+                          fill_level=fill_level, executor=executor,
+                          nworkers=nworkers)
         result.traces[p] = rec
         runs.append((p, sum(its), rec))
         if trace_dir is not None:
@@ -198,7 +207,9 @@ def run_table3_measured(*, procs=(2, 4, 8, 16), size: str = "small",
             write_trace(out, rec, meta={
                 "experiment": "table3_measured", "nprocs": p,
                 "problem": prob.name, "linear_its": sum(its),
-                "max_steps": max_steps, "fill_level": fill_level})
+                "max_steps": max_steps, "fill_level": fill_level,
+                "executor": executor,
+                "nworkers": nworkers if nworkers is not None else 0})
     result.rows = measured_rows(runs)
     return result
 

@@ -12,7 +12,8 @@ A *pragma* is an in-source annotation comment::
     # lint: setup (construction-only module: scatter-adds allowed)
     np.add.at(indptr, rows + 1, 1)   # lint: scatter-ok (CSR build)
 
-Module markers (``kernel`` / ``setup``) classify the whole file; the
+Module markers (``kernel`` / ``setup`` / ``worker``) classify the
+whole file; the
 ``*-ok`` tokens suppress one rule on one statement, either at the end
 of the statement's first line or on a comment-only line immediately
 above it.  Every pragma should carry a parenthesised justification —
@@ -43,8 +44,11 @@ SUPPRESS_TOKENS = {
     "telemetry-ok": "R005",
 }
 
-#: Module-classification tokens.
-MODULE_TOKENS = frozenset({"kernel", "setup"})
+#: Module-classification tokens.  ``worker`` is a kernel module that
+#: executes inside forked worker processes: every kernel rule applies,
+#: but it may read the wall clock directly (R005's clock check), since
+#: worker-side telemetry cannot call back into the parent's recorder.
+MODULE_TOKENS = frozenset({"kernel", "setup", "worker"})
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*(?P<body>[^#]*)")
 _TOKEN_RE = re.compile(r"^[a-z][a-z0-9-]*$")
@@ -98,7 +102,7 @@ class ModuleInfo:
     lines: list[str] = field(default_factory=list)
     tree: ast.Module | None = None
     syntax_error: str | None = None
-    kind: str | None = None                # "kernel" | "setup" | None
+    kind: str | None = None                # "kernel"|"setup"|"worker"|None
     pragmas: list[Pragma] = field(default_factory=list)
     # line -> set of rule ids suppressed there
     _suppress: dict[int, set[str]] = field(default_factory=dict)
@@ -107,7 +111,11 @@ class ModuleInfo:
 
     @property
     def is_kernel(self) -> bool:
-        return self.kind == "kernel"
+        return self.kind in ("kernel", "worker")
+
+    @property
+    def is_worker(self) -> bool:
+        return self.kind == "worker"
 
     @property
     def is_setup(self) -> bool:

@@ -9,7 +9,10 @@ accident and must never perturb numerics.  Concretely,
 * kernel modules do not read the wall clock directly
   (``time.time``/``perf_counter``/...): timing belongs to
   :mod:`repro.perf.timers` and the recorder, so traces have one clock
-  and kernels stay replayable;
+  and kernels stay replayable — except modules marked
+  ``# lint: worker``, whose code runs inside forked worker processes
+  where the parent's recorder is unreachable and per-rank spans *must*
+  be clocked locally (they merge into the parent trace on collect);
 * no legacy global-state ``np.random.*`` calls anywhere — seeded
   ``np.random.default_rng(seed)`` generators keep every run (and every
   recorded trace) deterministic.
@@ -100,7 +103,8 @@ class TelemetryDiscipline(Rule):
                 chain = attr_chain(node.func)
                 if chain is None:
                     continue
-                if (module.is_kernel and len(chain) == 2
+                if (module.is_kernel and not module.is_worker
+                        and len(chain) == 2
                         and chain[0] == "time" and chain[1] in _CLOCKS
                         and not module.suppressed(self.id, node.lineno)):
                     yield module.finding(

@@ -33,7 +33,9 @@ from repro.parallel.spmd import (
     distributed_residual,
     distributed_matvec,
     distributed_dot,
+    tree_reduce_sum,
 )
+from repro.parallel.procpool import ProcPool, ProcPoolError
 
 __all__ = [
     "GhostExchangePlan",
@@ -54,4 +56,7 @@ __all__ = [
     "distributed_residual",
     "distributed_matvec",
     "distributed_dot",
+    "tree_reduce_sum",
+    "ProcPool",
+    "ProcPoolError",
 ]

@@ -47,7 +47,9 @@ from repro.sparse.segsum import concat_ranges, segment_sum
 from repro.telemetry.recorder import NULL_RECORDER
 
 __all__ = ["RankLocalData", "SPMDLayout", "GhostExchange",
-           "distributed_residual", "distributed_matvec", "distributed_dot"]
+           "distributed_residual", "distributed_matvec", "distributed_dot",
+           "rank_residual", "rank_matvec", "rank_matvec_structs",
+           "tree_reduce_sum"]
 
 
 @dataclass
@@ -82,14 +84,25 @@ class RankLocalData:
 
 @dataclass
 class SPMDLayout:
-    """The full set of rank-local worlds for one partition."""
+    """The full set of rank-local worlds for one partition.
+
+    ``pool`` is the attach point for a process-parallel executor
+    (:class:`repro.parallel.procpool.ProcPool`); the distributed
+    kernels resolve ``executor="proc"`` through it.  ``executor``
+    reports which backend a bare kernel call would use.
+    """
 
     labels: np.ndarray
     ranks: list[RankLocalData] = field(default_factory=list)
+    pool: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def nranks(self) -> int:
         return len(self.ranks)
+
+    @property
+    def executor(self) -> str:
+        return "proc" if self.pool is not None else "seq"
 
     @classmethod
     def build(cls, edges: np.ndarray, labels: np.ndarray) -> "SPMDLayout":
@@ -134,12 +147,35 @@ class GhostExchange:
     """
 
     def __init__(self, layout: SPMDLayout, ncomp: int, *,
-                 recorder=NULL_RECORDER) -> None:
+                 recorder=NULL_RECORDER, executor: str = "seq") -> None:
+        if executor not in ("seq", "proc"):
+            raise ValueError(f"unknown executor {executor!r} "
+                             f"(expected 'seq' or 'proc')")
         self.layout = layout
         self.ncomp = ncomp
+        self.executor = executor
         self.messages = 0
         self.bytes_moved = 0
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+
+    @property
+    def pair_count(self) -> int:
+        """Number of (receiver, owner) pairs one refresh touches."""
+        return sum(int(np.unique(rd.ghost_owner).size)
+                   for rd in self.layout.ranks)
+
+    @property
+    def ghost_rows(self) -> int:
+        """Total ghost copies received by one refresh."""
+        return sum(int(rd.ghosts.size) for rd in self.layout.ranks)
+
+    def account_refresh(self, itemsize: int) -> None:
+        """Book one refresh executed elsewhere (the proc backend moves
+        the payloads inside the worker processes; the counts are a
+        property of the layout, so the coordinator can account them
+        without seeing the data)."""
+        self.messages += self.pair_count
+        self.bytes_moved += self.ghost_rows * self.ncomp * int(itemsize)
 
     def refresh(self, local_q: list[np.ndarray]) -> None:
         """Update the ghost tail of each rank's local state in place.
@@ -149,6 +185,12 @@ class GhostExchange:
         present in its owner's ``owned`` array — ``np.searchsorted``
         on a stale layout would otherwise silently pick a wrong row.
         """
+        if self.executor == "proc":
+            raise RuntimeError(
+                "refresh() is the in-process exchange; with "
+                "executor='proc' the ghosts are refreshed inside the "
+                "worker pool's barrier protocol (account_refresh books "
+                "the traffic)")
         layout = self.layout
         rec = self.recorder
         per_rank_s = [0.0] * layout.nranks
@@ -206,10 +248,140 @@ def _scatter_local_state(layout: SPMDLayout, qglobal: np.ndarray,
     return out
 
 
+def rank_residual(disc: EdgeFVDiscretization, rd: RankLocalData,
+                  local_q_r: np.ndarray, out_dtype,
+                  edge_normals: np.ndarray | None = None) -> np.ndarray:
+    """One rank's first-order residual on its local rows.
+
+    The single rank-local kernel both executors run: the sequential
+    loop below and each pool worker call exactly this function, so
+    seq/proc bitwise identity is structural, not empirical.
+    ``edge_normals`` may be the pre-gathered per-rank normals (the proc
+    backend caches them per worker); values are identical either way.
+    """
+    from repro.euler.fluxes import rusanov_flux
+
+    ncomp = disc.ncomp
+    if rd.local_edges.size == 0:
+        r_local = np.zeros((rd.n_local, ncomp), dtype=out_dtype)
+    else:
+        ql = local_q_r[rd.local_edges[:, 0]]
+        qr = local_q_r[rd.local_edges[:, 1]]
+        s = (disc.dual.edge_normals[rd.edge_ids]
+             if edge_normals is None else edge_normals)
+        f = rusanov_flux(ql, qr, s, disc._flux, disc._wavespeed)
+        r_local = (segment_sum(rd.local_edges[:, 0], f, rd.n_local)
+                   - segment_sum(rd.local_edges[:, 1], f, rd.n_local))
+    # Boundary closures on owned boundary vertices.
+    bc = disc.bc
+    bmask = np.isin(bc.vertices, rd.owned, assume_unique=False)
+    if bmask.any():
+        bv = bc.vertices[bmask]
+        lpos = np.searchsorted(rd.owned, bv)
+        qb = local_q_r[lpos]
+        kinds = bc.kinds[bmask]
+        normals = bc.normals[bmask]
+        wall = kinds == bc.WALL
+        if wall.any():
+            r_local[lpos[wall]] += disc._wall_flux(qb[wall], normals[wall])
+        far = ~wall
+        if far.any():
+            qe = np.broadcast_to(disc.farfield_state, qb[far].shape)
+            r_local[lpos[far]] += rusanov_flux(
+                qb[far], qe, normals[far], disc._flux, disc._wavespeed)
+    return r_local
+
+
+def rank_matvec_structs(a: BSRMatrix, rd: RankLocalData):
+    """Per-rank gather pattern of the distributed SpMV.
+
+    Returns ``(flat, cols, seg)``: the flat block slots of the rank's
+    owned rows, their local column indices, and the owned-row segment
+    ids.  Depends only on the matrix *pattern* and the layout, so the
+    proc backend computes it once per matrix and reuses it every call.
+    """
+    lut = np.full(a.nbrows, -1, dtype=np.int64)
+    lut[rd.local_vertices] = np.arange(rd.n_local, dtype=np.int64)
+    starts = a.indptr[rd.owned]
+    counts = a.indptr[rd.owned + 1] - starts
+    flat = concat_ranges(starts, counts)
+    cols = lut[a.indices[flat]]
+    if np.any(cols < 0):
+        raise ValueError("matrix couples beyond the ghost layer")
+    seg = np.repeat(np.arange(rd.owned.size, dtype=np.int64), counts)
+    return flat, cols, seg
+
+
+def rank_matvec(data_rows: np.ndarray, cols: np.ndarray, seg: np.ndarray,
+                local_x_r: np.ndarray, n_owned: int,
+                workspace: tuple | None = None) -> np.ndarray:
+    """One rank's owned SpMV rows: block-gemv the gathered blocks and
+    segment-sum per owned row.  Shared by both executors (see
+    :func:`rank_residual`).
+
+    ``workspace`` is an optional ``(gathered, prods)`` buffer pair that
+    persistent proc workers reuse across calls — allocating these
+    multi-MB temporaries fresh costs a page-fault sweep per matvec.
+    ``np.take``/``np.einsum`` into a preallocated buffer compute the
+    same values as the allocating forms, so results are bitwise
+    identical either way (asserted by the proc-backend tests)."""
+    if workspace is None:
+        prods = np.einsum("kij,kj->ki", data_rows, local_x_r[cols])
+    else:
+        gathered, prods = workspace
+        np.take(local_x_r, cols, axis=0, out=gathered)
+        np.einsum("kij,kj->ki", data_rows, gathered, out=prods)
+    return segment_sum(seg, prods, n_owned)
+
+
+def tree_reduce_sum(values) -> float:
+    """Deterministic pairwise tree reduction (MPI_SUM's usual shape).
+
+    A fixed left-to-right pairing, so the result depends only on the
+    rank order of the partials — never on which executor produced them
+    or in what order workers completed.  This is what makes
+    ``distributed_dot`` bitwise-reproducible across backends.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return 0.0
+    # lint: loop-ok (O(log nranks) reduction tree over scalar partials)
+    while len(vals) > 1:
+        nxt = []
+        for i in range(0, len(vals) - 1, 2):   # lint: loop-ok (pairing)
+            nxt.append(vals[i] + vals[i + 1])
+        if len(vals) % 2:
+            nxt.append(vals[-1])
+        vals = nxt
+    return vals[0]
+
+
+def _resolve_pool(layout: SPMDLayout, executor):
+    """Map the ``executor`` knob to a pool (or None for in-process).
+
+    ``"seq"``/None run the rank loop in-process; ``"proc"`` uses the
+    pool attached to the layout; a pool instance is used directly.
+    """
+    if executor in (None, "seq"):
+        return None
+    if executor == "proc":
+        if layout.pool is None:
+            raise ValueError(
+                "executor='proc' needs a worker pool: create "
+                "repro.parallel.ProcPool(layout, disc) (it attaches "
+                "itself to layout.pool) or pass the pool as executor=")
+        return layout.pool
+    if isinstance(executor, str):
+        raise ValueError(f"unknown executor {executor!r} "
+                         f"(expected 'seq', 'proc', or a ProcPool)")
+    return executor
+
+
 def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
                          qglobal: np.ndarray,
                          exchange: GhostExchange | None = None,
-                         *, recorder=NULL_RECORDER) -> np.ndarray:
+                         *, recorder=NULL_RECORDER,
+                         executor="seq") -> np.ndarray:
     """First-order residual computed rank by rank on local data.
 
     Each rank evaluates fluxes on its local edge set with purely local
@@ -217,50 +389,29 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
     owned rows, and the owned rows are gathered into the global vector.
     Must equal ``disc.residual(q, second_order=False)`` exactly.  The
     result dtype follows ``qglobal`` (float32 in, float32 out).
+
+    ``executor="proc"`` (or a :class:`~repro.parallel.procpool.ProcPool`
+    instance) runs the rank kernels in the worker pool over shared
+    memory — bitwise-identical to the sequential path; per-rank spans
+    are then recorded inside the workers (collect the pool to merge).
     """
     ncomp = disc.ncomp
     rec = recorder if recorder is not None else NULL_RECORDER
+    pool = _resolve_pool(layout, executor)
+    if pool is not None:
+        ex = exchange or GhostExchange(layout, ncomp, recorder=rec,
+                                       executor="proc")
+        return pool.residual(qglobal, exchange=ex, recorder=rec)
     ex = exchange or GhostExchange(layout, ncomp, recorder=rec)
     local_q = _scatter_local_state(layout, qglobal, ncomp)
     ex.refresh(local_q)
-
-    from repro.euler.fluxes import rusanov_flux
 
     out = np.zeros((disc.mesh.num_vertices, ncomp), dtype=qglobal.dtype)
     per_rank_s = [0.0] * layout.nranks
     # lint: loop-ok (rank loop of the SPMD residual, O(nranks))
     for rd in layout.ranks:
         with rec.span("flux", rank=rd.rank) as sp:
-            if rd.local_edges.size == 0:
-                r_local = np.zeros((rd.n_local, ncomp), dtype=out.dtype)
-            else:
-                ql = local_q[rd.rank][rd.local_edges[:, 0]]
-                qr = local_q[rd.rank][rd.local_edges[:, 1]]
-                s = disc.dual.edge_normals[rd.edge_ids]
-                f = rusanov_flux(ql, qr, s, disc._flux, disc._wavespeed)
-                r_local = (segment_sum(rd.local_edges[:, 0], f, rd.n_local)
-                           - segment_sum(rd.local_edges[:, 1], f, rd.n_local))
-            # Boundary closures on owned boundary vertices.
-            bc = disc.bc
-            owned_set = rd.owned
-            bmask = np.isin(bc.vertices, owned_set, assume_unique=False)
-            if bmask.any():
-                bv = bc.vertices[bmask]
-                lpos = np.searchsorted(rd.owned, bv)
-                qb = local_q[rd.rank][lpos]
-                kinds = bc.kinds[bmask]
-                normals = bc.normals[bmask]
-                wall = kinds == bc.WALL
-                if wall.any():
-                    r_local[lpos[wall]] += disc._wall_flux(qb[wall],
-                                                           normals[wall])
-                far = ~wall
-                if far.any():
-                    qe = np.broadcast_to(disc.farfield_state,
-                                         qb[far].shape)
-                    r_local[lpos[far]] += rusanov_flux(
-                        qb[far], qe, normals[far], disc._flux,
-                        disc._wavespeed)
+            r_local = rank_residual(disc, rd, local_q[rd.rank], out.dtype)
             out[rd.owned] = r_local[: rd.n_owned]
         per_rank_s[rd.rank] = sp.elapsed
     rec.record_wait("flux", per_rank_s)
@@ -270,16 +421,23 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
 def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
                        xglobal: np.ndarray,
                        exchange: GhostExchange | None = None,
-                       *, recorder=NULL_RECORDER) -> np.ndarray:
+                       *, recorder=NULL_RECORDER,
+                       executor="seq") -> np.ndarray:
     """y = A x computed rank by rank: each rank holds its owned block
     rows (whose columns reach only owned + ghost vertices) and local x;
     one exchange refreshes the ghosts first.
 
     As in the Krylov solvers, the working precision follows the vector:
     the result and all rank-local arrays take ``xglobal``'s dtype.
+    ``executor`` selects the backend as in :func:`distributed_residual`.
     """
     bs = a.bs
     rec = recorder if recorder is not None else NULL_RECORDER
+    pool = _resolve_pool(layout, executor)
+    if pool is not None:
+        ex = exchange or GhostExchange(layout, bs, recorder=rec,
+                                       executor="proc")
+        return pool.matvec(a, xglobal, exchange=ex, recorder=rec)
     ex = exchange or GhostExchange(layout, bs, recorder=rec)
     local_x = _scatter_local_state(layout, xglobal, bs)
     ex.refresh(local_x)
@@ -288,20 +446,11 @@ def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
     # lint: loop-ok (rank loop of the SPMD matvec, O(nranks))
     for rd in layout.ranks:
         with rec.span("matvec", rank=rd.rank) as sp:
-            lut = np.full(a.nbrows, -1, dtype=np.int64)
-            lut[rd.local_vertices] = np.arange(rd.n_local, dtype=np.int64)
             # All owned block rows as one flat batch: gather the block
             # entries of every row, block-gemv them, segment-sum per row.
-            starts = a.indptr[rd.owned]
-            counts = a.indptr[rd.owned + 1] - starts
-            flat = concat_ranges(starts, counts)
-            cols = lut[a.indices[flat]]
-            if np.any(cols < 0):
-                raise ValueError("matrix couples beyond the ghost layer")
-            prods = np.einsum("kij,kj->ki", a.data[flat],
-                              local_x[rd.rank][cols])
-            seg = np.repeat(np.arange(rd.owned.size, dtype=np.int64), counts)
-            y[rd.owned] = segment_sum(seg, prods, rd.owned.size)
+            flat, cols, seg = rank_matvec_structs(a, rd)
+            y[rd.owned] = rank_matvec(a.data[flat], cols, seg,
+                                      local_x[rd.rank], rd.owned.size)
         per_rank_s[rd.rank] = sp.elapsed
     rec.record_wait("matvec", per_rank_s)
     return y.ravel()
@@ -309,15 +458,25 @@ def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
 
 def distributed_dot(layout: SPMDLayout, xglobal: np.ndarray,
                     yglobal: np.ndarray, ncomp: int,
-                    *, recorder=NULL_RECORDER) -> float:
+                    *, recorder=NULL_RECORDER, executor="seq") -> float:
     """Global dot product as partial sums over owned rows + allreduce
-    (the reduction whose latency Table 3 prices)."""
+    (the reduction whose latency Table 3 prices).
+
+    The allreduce is a fixed-order pairwise tree over the per-rank
+    float64 partials (:func:`tree_reduce_sum`), so the result is
+    bitwise-identical across executors and independent of worker
+    completion order.
+    """
     rec = recorder if recorder is not None else NULL_RECORDER
-    x = xglobal.reshape(-1, ncomp)
-    y = yglobal.reshape(-1, ncomp)
+    pool = _resolve_pool(layout, executor)
     with rec.span("allreduce"):
-        partials = [float(np.sum(x[rd.owned] * y[rd.owned]))
-                    for rd in layout.ranks]
-        result = float(np.sum(partials))   # the allreduce
+        if pool is not None:
+            partials = pool.dot_partials(xglobal, yglobal)
+        else:
+            x = xglobal.reshape(-1, ncomp)
+            y = yglobal.reshape(-1, ncomp)
+            partials = [float(np.sum(x[rd.owned] * y[rd.owned]))
+                        for rd in layout.ranks]
+        result = tree_reduce_sum(partials)   # the allreduce
     rec.count("reductions", 1)
     return result

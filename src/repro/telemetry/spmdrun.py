@@ -45,7 +45,9 @@ def replay_spmd_solve(disc: EdgeFVDiscretization, labels: np.ndarray,
                       cfl: float = 10.0,
                       flux_evals_per_step: int = 2,
                       reductions_per_linear_it: int = 2,
-                      refresh_every: int = 2) -> GhostExchange:
+                      refresh_every: int = 2,
+                      executor: str = "seq",
+                      nworkers: int | None = None) -> GhostExchange:
     """Execute one solve's phase pattern on the SPMD kernels, recording.
 
     ``its_per_step`` carries the algorithmic content — the per-step
@@ -55,41 +57,63 @@ def replay_spmd_solve(disc: EdgeFVDiscretization, labels: np.ndarray,
     reduction rounds with strictly rank-local data.  Returns the
     :class:`GhostExchange` (its ``messages`` / ``bytes_moved`` totals
     mirror the recorder's counters).
+
+    With ``executor="proc"`` the rank kernels run concurrently in a
+    worker pool (``nworkers`` processes) and the per-rank spans are
+    recorded *inside* the workers — the replay is then measured, not
+    simulated; the per-process shards are merged into ``recorder``
+    before returning.  Numerics are bitwise-identical either way.
     """
     labels = np.asarray(labels, dtype=np.int64)
     layout = SPMDLayout.build(disc.mesh.edges, labels)
     ncomp = disc.ncomp
-    ex = GhostExchange(layout, ncomp, recorder=recorder)
+    ex = GhostExchange(layout, ncomp, recorder=recorder, executor=executor)
     q = np.asarray(qglobal, dtype=np.float64).ravel()
 
-    pc: AdditiveSchwarz | None = None
-    jac = None
-    for step, nits in enumerate(its_per_step):
-        # Residual evaluations (each refreshes the ghosts).
-        r = q
-        for _ in range(flux_evals_per_step):
-            r = distributed_residual(disc, layout, q, ex, recorder=recorder)
-        # One norm per step for the SER controller.
-        distributed_dot(layout, r, r, ncomp, recorder=recorder)
+    pool = None
+    if executor == "proc":
+        from repro.parallel.procpool import ProcPool
+        pool = ProcPool(layout, disc, nworkers=nworkers)
+    try:
+        pc: AdditiveSchwarz | None = None
+        jac = None
+        for step, nits in enumerate(its_per_step):
+            # Residual evaluations (each refreshes the ghosts).
+            r = q
+            for _ in range(flux_evals_per_step):
+                r = distributed_residual(disc, layout, q, ex,
+                                         recorder=recorder,
+                                         executor=executor)
+            # One norm per step for the SER controller.
+            distributed_dot(layout, r, r, ncomp, recorder=recorder,
+                            executor=executor)
 
-        # Lagged Jacobian + preconditioner refresh.
-        if pc is None or step % refresh_every == 0:
-            with recorder.span("jacobian"):
-                jac = disc.shifted_jacobian(q, cfl)
-            if pc is None:
-                pc = AdditiveSchwarz(
-                    labels,
-                    ASMConfig(overlap=overlap, fill_level=fill_level),
-                    graph=disc.mesh.vertex_graph(),
-                    recorder=recorder)
-            pc.setup(jac)          # records precond_setup internally
+            # Lagged Jacobian + preconditioner refresh.
+            if pc is None or step % refresh_every == 0:
+                with recorder.span("jacobian"):
+                    jac = disc.shifted_jacobian(q, cfl)
+                if pc is None:
+                    pc = AdditiveSchwarz(
+                        labels,
+                        ASMConfig(overlap=overlap, fill_level=fill_level),
+                        graph=disc.mesh.vertex_graph(),
+                        recorder=recorder)
+                pc.setup(jac)          # records precond_setup internally
 
-        # Krylov iterations: scatter + matvec, subdomain trisolves,
-        # then the orthogonalisation reductions.
-        x = r
-        for _ in range(nits):
-            y = distributed_matvec(jac, layout, x, ex, recorder=recorder)
-            x = pc.solve(y)        # records per-subdomain trisolve spans
-            for _ in range(reductions_per_linear_it):
-                distributed_dot(layout, x, x, ncomp, recorder=recorder)
+            # Krylov iterations: scatter + matvec, subdomain trisolves,
+            # then the orthogonalisation reductions.
+            x = r
+            for _ in range(nits):
+                y = distributed_matvec(jac, layout, x, ex,
+                                       recorder=recorder,
+                                       executor=executor)
+                x = pc.solve(y)    # records per-subdomain trisolve spans
+                for _ in range(reductions_per_linear_it):
+                    distributed_dot(layout, x, x, ncomp, recorder=recorder,
+                                    executor=executor)
+        if pool is not None:
+            pool.collect(recorder)
+    finally:
+        if pool is not None:
+            pool.close()
     return ex

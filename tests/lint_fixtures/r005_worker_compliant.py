@@ -1,0 +1,19 @@
+"""R005 worker fixture, compliant half: the same clocked kernel in a
+``# lint: worker`` module — forked workers cannot reach the parent's
+recorder, so local clocking is the sanctioned exception (every other
+kernel rule still applies)."""
+
+# lint: worker (fixture: runs in forked workers, merges spans on collect)
+
+import time
+
+import numpy as np
+
+from repro.telemetry.recorder import NULL_RECORDER
+
+
+def timed_rank_kernel(x, recorder=NULL_RECORDER):
+    t0 = time.perf_counter()
+    y = np.square(x)
+    recorder.count("kernel_s", time.perf_counter() - t0)
+    return y

@@ -1,0 +1,17 @@
+"""R005 worker fixture, violating half: a *kernel* module reading the
+wall clock directly — only ``# lint: worker`` modules may do that."""
+
+# lint: kernel (fixture: hot-path module, clocks are the recorder's job)
+
+import time
+
+import numpy as np
+
+from repro.telemetry.recorder import NULL_RECORDER
+
+
+def timed_rank_kernel(x, recorder=NULL_RECORDER):
+    t0 = time.perf_counter()
+    y = np.square(x)
+    recorder.count("kernel_s", time.perf_counter() - t0)
+    return y

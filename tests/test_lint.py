@@ -52,6 +52,32 @@ class TestRuleFixtures:
         findings = lint_fixture("r005_violating.py")
         assert len(findings) == 4
 
+    def test_r005_worker_pragma_allows_clocks(self):
+        """The same clocked kernel fires R005 under '# lint: kernel'
+        and is clean under '# lint: worker' (forked workers must clock
+        their own spans — the parent's recorder is unreachable)."""
+        findings = lint_fixture("r005_worker_violating.py")
+        assert {f.rule for f in findings} == {"R005"}
+        assert len(findings) == 2          # both clock reads
+        assert lint_fixture("r005_worker_compliant.py") == []
+
+    def test_worker_modules_keep_other_kernel_rules(self, tmp_path):
+        """'worker' is a kernel classification: R002/R003 still apply;
+        only the R005 clock check is carved out."""
+        mod = tmp_path / "workermod.py"
+        mod.write_text(
+            "# lint: worker (fixture)\n"
+            "import time\n"
+            "import numpy as np\n\n\n"
+            "def kernel(x):\n"
+            "    t0 = time.perf_counter()\n"
+            "    out = np.zeros(x.size)\n"
+            "    for i in range(x.size):\n"
+            "        out[i] = x[i] + t0\n"
+            "    return out\n")
+        findings = run_lint([mod], tests_dir=None)
+        assert {f.rule for f in findings} == {"R002", "R003"}
+
     def test_findings_carry_location_and_fingerprint(self):
         (finding,) = lint_fixture("r004_violating.py")
         assert finding.path.endswith("r004_violating.py")

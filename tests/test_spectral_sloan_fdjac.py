@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.euler import (distance2_vertex_coloring, fd_jacobian_colored,
+from repro.euler import (distance2_vertex_coloring, fd_jacobian,
+                         fd_jacobian_colored, fd_jacobian_ref,
                          wing_problem)
 from repro.graph import (envelope_profile, graph_from_edges,
                          rcm_ordering, sloan_ordering)
@@ -166,3 +167,33 @@ class TestColoredFDJacobian:
         # through the gradients, which the stencil pattern truncates;
         # agreement is approximate by design.
         assert rel < 0.35
+
+
+class TestVectorizedFDJacobian:
+    """fd_jacobian (fancy-indexed scatter) vs fd_jacobian_ref (loop)."""
+
+    def test_bitwise_equal_to_ref(self, rng):
+        prob = wing_problem(5, 4, 4, second_order=False)
+        q = prob.initial.flat() + 0.01 * rng.standard_normal(
+            prob.num_unknowns)
+        fast = fd_jacobian(prob.disc, q)
+        ref = fd_jacobian_ref(prob.disc, q)
+        assert np.array_equal(fast.indptr, ref.indptr)
+        assert np.array_equal(fast.indices, ref.indices)
+        # Same differences written to the same slots: exact equality.
+        assert fast.data.dtype == ref.data.dtype == np.float64
+        assert np.array_equal(fast.data, ref.data)
+
+    def test_bitwise_equal_second_order_and_eps(self, rng):
+        prob = wing_problem(4, 4, 4)
+        q = prob.initial.flat() + 0.01 * rng.standard_normal(
+            prob.num_unknowns)
+        colors = distance2_vertex_coloring(prob.mesh.vertex_graph())
+        fast = fd_jacobian(prob.disc, q, second_order=True, eps=1e-7,
+                           colors=colors)
+        ref = fd_jacobian_ref(prob.disc, q, second_order=True, eps=1e-7,
+                              colors=colors)
+        assert np.array_equal(fast.data, ref.data)
+
+    def test_colored_alias_is_fast_path(self):
+        assert fd_jacobian_colored is fd_jacobian
