@@ -76,6 +76,10 @@ class SolverConfig:
                                      # kernels (seq = in-process rank
                                      # loop, proc = shm worker pool)
     nworkers: int | None = None      # worker processes for 'proc'
+    engine: str = "numpy"            # 'numpy' | 'compiled': kernel tier
+                                     # for trisolve/SpMV/residual/
+                                     # assembly (repro.kernels; degrades
+                                     # to numpy without a backend)
 
     def __post_init__(self) -> None:
         if self.max_steps < 1:
@@ -88,3 +92,5 @@ class SolverConfig:
             raise ValueError("executor must be 'local', 'seq', or 'proc'")
         if self.nworkers is not None and self.nworkers < 1:
             raise ValueError("nworkers must be >= 1")
+        if self.engine not in ("numpy", "compiled"):
+            raise ValueError("engine must be 'numpy' or 'compiled'")

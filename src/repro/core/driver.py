@@ -143,6 +143,10 @@ class NKSSolver:
         self.disc = disc
         self.config = config or SolverConfig()
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        # The engine knob rides the discretisation so the residual,
+        # assembly and SPMD rank kernels (which fork after this point)
+        # all see the same tier.
+        self.disc.engine = self.config.engine
         self._labels = self._build_labels()
         self._pc: AdditiveSchwarz | None = None
         self._ws = KrylovWorkspace()     # Krylov arrays, reused every step
@@ -179,7 +183,8 @@ class NKSSolver:
         return AdditiveSchwarz(
             self._labels,
             ASMConfig(overlap=cfg.overlap, fill_level=cfg.fill_level,
-                      variant=cfg.variant, storage_dtype=cfg.dtype),
+                      variant=cfg.variant, storage_dtype=cfg.dtype,
+                      engine=self.config.engine),
             graph=self.disc.mesh.vertex_graph(),
             recorder=self.recorder,
         )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.euler.boundary import BoundaryCondition
 from repro.euler.fluxes import rusanov_flux, rusanov_flux_jacobians
 from repro.euler.reconstruction import (Limiter, green_gauss_gradients,
@@ -39,12 +40,14 @@ class EdgeFVDiscretization:
     def __init__(self, mesh: Mesh, bc: BoundaryCondition,
                  dual: DualMetrics | None = None, *,
                  second_order: bool = True,
-                 limiter: Limiter | str = Limiter.VAN_ALBADA) -> None:
+                 limiter: Limiter | str = Limiter.VAN_ALBADA,
+                 engine: str = "numpy") -> None:
         self.mesh = mesh
         self.dual = dual if dual is not None else compute_dual_metrics(mesh)
         self.bc = bc
         self.second_order = second_order
         self.limiter = Limiter(limiter)
+        self.engine = engine        # kernel tier for scatter/assembly
         self.structure: BlockStructure = block_structure_from_edges(
             mesh.num_vertices, mesh.edges)
         self.farfield_state: np.ndarray | None = None  # (ncomp,) set by subclass
@@ -95,9 +98,15 @@ class EdgeFVDiscretization:
             ql, qr = q[e0], q[e1]
         f = self._numerical_flux(ql, qr, s)
         n = self.mesh.num_vertices
-        r = (segment_sum(e0, f, n, self.mesh.edge_scatter_index(0, self.ncomp))
-             - segment_sum(e1, f, n,
-                           self.mesh.edge_scatter_index(1, self.ncomp)))
+        scat = (_kernels.edge_scatter2(e0, e1, f, f, n, self.engine)
+                if self.engine != "numpy" else None)
+        if scat is not None:
+            r = scat[0] - scat[1]
+        else:
+            r = (segment_sum(e0, f, n,
+                             self.mesh.edge_scatter_index(0, self.ncomp))
+                 - segment_sum(e1, f, n,
+                               self.mesh.edge_scatter_index(1, self.ncomp)))
         self._add_boundary_residual(q, r)
         return r.ravel()
 
@@ -137,11 +146,18 @@ class EdgeFVDiscretization:
         nc2 = self.ncomp * self.ncomp
         # R_i += F_ij  ->  dR_i/dq_i += jl, dR_i/dq_j += jr
         # R_j -= F_ij  ->  dR_j/dq_j -= jr, dR_j/dq_i -= jl
-        diag = (segment_sum(e0, jl, n, self.mesh.edge_scatter_index(0, nc2))
-                - segment_sum(e1, jr, n, self.mesh.edge_scatter_index(1, nc2)))
+        scat = (_kernels.edge_scatter2(e0, e1, jl, jr, n, self.engine)
+                if self.engine != "numpy" else None)
+        if scat is not None:
+            diag = scat[0] - scat[1]
+        else:
+            diag = (segment_sum(e0, jl, n,
+                                self.mesh.edge_scatter_index(0, nc2))
+                    - segment_sum(e1, jr, n,
+                                  self.mesh.edge_scatter_index(1, nc2)))
         self._add_boundary_jacobian(q, diag)
         return assemble_bsr(self.structure, self.ncomp, diag,
-                            off_ij=jr, off_ji=-jl)
+                            off_ij=jr, off_ji=-jl, engine=self.engine)
 
     def _add_boundary_jacobian(self, q: np.ndarray, diag: np.ndarray) -> None:
         bc = self.bc
@@ -174,8 +190,14 @@ class EdgeFVDiscretization:
         s = self.dual.edge_normals
         lam = np.maximum(self._wavespeed(q[e0], s), self._wavespeed(q[e1], s))
         n = self.mesh.num_vertices
-        acc = (segment_sum(e0, lam, n, self.mesh.edge_scatter_index(0, 1))
-               + segment_sum(e1, lam, n, self.mesh.edge_scatter_index(1, 1)))
+        scat = (_kernels.edge_scatter2(e0, e1, lam, lam, n, self.engine)
+                if self.engine != "numpy" else None)
+        if scat is not None:
+            acc = scat[0] + scat[1]
+        else:
+            acc = (segment_sum(e0, lam, n, self.mesh.edge_scatter_index(0, 1))
+                   + segment_sum(e1, lam, n,
+                                 self.mesh.edge_scatter_index(1, 1)))
         bc = self.bc
         if bc.vertices.size:
             acc[bc.vertices] += self._wavespeed(q[bc.vertices], bc.normals)

@@ -72,7 +72,8 @@ def solve_with_partition(prob: FlowProblem, nparts: int, *,
                          krylov_maxiter: int = 40,
                          krylov_restart: int = 20,
                          matrix_free: bool = True,
-                         target_reduction: float = 1e-10, seed: int = 0):
+                         target_reduction: float = 1e-10, seed: int = 0,
+                         engine: str = "numpy"):
     """One NKS run with a p-way preconditioner partition.
 
     ``max_steps`` is deliberately small and ``target_reduction``
@@ -95,6 +96,7 @@ def solve_with_partition(prob: FlowProblem, nparts: int, *,
             partitioner="given" if labels is not None else partitioner,
             labels=labels),
         seed=seed,
+        engine=engine,
     )
     solver = NKSSolver(prob.disc, cfg)
     report = solver.solve(prob.initial.flat())

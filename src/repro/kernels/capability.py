@@ -1,0 +1,100 @@
+"""Capability probe for the compiled kernel tier.
+
+``engine="compiled"`` is a *request*, not a requirement: this module
+decides at dispatch time which backend — numba ``@njit``, a
+cffi-compiled C library, or plain numpy — will actually serve it.  The
+probes are import-guarded and cached, so environments without numba or
+a C toolchain silently resolve ``"compiled"`` to ``"numpy"`` and run
+the oracle tier unchanged; nothing in the repo ever hard-imports an
+optional dependency.
+
+Set ``REPRO_KERNELS_DISABLE=1`` to force the numpy resolution even
+when a backend is available (the CI fallback leg, A/B debugging).
+"""
+
+from __future__ import annotations
+
+# lint: setup (one-shot probes; no numeric kernels here)
+
+import os
+import shutil
+
+__all__ = ["probe_numba", "probe_c", "available_backends",
+           "resolve_engine", "mark_unavailable", "invalidate"]
+
+ENGINES = ("numpy", "compiled")
+
+#: probe name -> cached bool result
+_PROBE_CACHE: dict[str, bool] = {}
+#: backends whose lazy initialisation failed (e.g. the C build broke)
+_BROKEN: set[str] = set()
+
+
+def probe_numba() -> bool:
+    """True when numba is importable (the preferred JIT backend)."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def probe_c() -> bool:
+    """True when cffi plus a C compiler are present (the C fallback)."""
+    try:
+        import cffi  # noqa: F401
+    except Exception:
+        return False
+    return any(shutil.which(cc) for cc in ("gcc", "cc", "clang"))
+
+
+def disabled() -> bool:
+    """Environment kill-switch: force the numpy resolution."""
+    return os.environ.get("REPRO_KERNELS_DISABLE", "") not in ("", "0")
+
+
+def _cached(name: str, probe) -> bool:
+    hit = _PROBE_CACHE.get(name)
+    if hit is None:
+        hit = _PROBE_CACHE[name] = bool(probe())
+    return hit
+
+
+def available_backends() -> tuple[str, ...]:
+    """Usable compiled backends in preference order (numba first)."""
+    if disabled():
+        return ()
+    out = []
+    if "numba" not in _BROKEN and _cached("numba", probe_numba):
+        out.append("numba")
+    if "c" not in _BROKEN and _cached("c", probe_c):
+        out.append("c")
+    return tuple(out)
+
+
+def resolve_engine(engine: str = "compiled") -> str:
+    """Map the engine knob to a concrete backend name.
+
+    ``"numpy"`` resolves to itself; ``"compiled"`` resolves to the
+    first available backend (``"numba"`` > ``"c"``) or degrades to
+    ``"numpy"`` when none is usable.
+    """
+    if engine == "numpy":
+        return "numpy"
+    if engine != "compiled":
+        raise ValueError(f"unknown engine {engine!r} "
+                         f"(expected one of {ENGINES})")
+    backends = available_backends()
+    return backends[0] if backends else "numpy"
+
+
+def mark_unavailable(backend: str) -> None:
+    """Record a backend whose initialisation failed so later resolves
+    skip it (a broken C toolchain should degrade, not raise again)."""
+    _BROKEN.add(backend)
+
+
+def invalidate() -> None:
+    """Drop cached probe results (tests that fake the environment)."""
+    _PROBE_CACHE.clear()
+    _BROKEN.clear()

@@ -1,0 +1,223 @@
+"""numba ``@njit`` backend for the hot kernels.
+
+Only imported after :func:`repro.kernels.capability.probe_numba`
+succeeds — numba is never a hard dependency.  Every jitted loop
+mirrors the C backend (:mod:`repro.kernels.cbackend`) statement for
+statement, which in turn mirrors the numpy oracle's accumulation
+order: scatter/CSR kernels are bitwise against the oracle, block
+kernels ULP-bounded (see the cbackend module docstring for why).
+numba's default ``fastmath=False`` keeps IEEE ordering and forbids
+FMA contraction, matching ``-ffp-contract=off`` on the C side.
+"""
+
+from __future__ import annotations
+
+# lint: compiled (numba twins of the numpy kernels; oracle map below)
+
+import numpy as np
+from numba import njit
+
+__all__ = ["NumbaBackend"]
+
+#: Jitted symbol -> dotted path of the numpy oracle it must match.
+__oracles__ = {
+    "edge_scatter2": "repro.sparse.segsum.segment_sum",
+    "spmv_csr": "repro.sparse.spmv.spmv_csr",
+    "spmv_csr_rows": "repro.sparse.spmv.spmv_csr",
+    "spmv_bsr": "repro.sparse.bsr.BSRMatrix.matvec",
+    "gather_spmv_bsr": "repro.parallel.spmd.rank_matvec",
+    "lower_solve_csr": "repro.sparse.trisolve.lower_solve_csr",
+    "upper_solve_csr": "repro.sparse.trisolve.upper_solve_csr",
+    "lower_solve_bsr": "repro.sparse.trisolve.lower_solve_blocks",
+    "upper_solve_bsr": "repro.sparse.trisolve.upper_solve_blocks",
+    "scatter_blocks": "repro.sparse.layouts.assemble_bsr",
+}
+__fallback__ = "pure numpy via repro.kernels dispatch (returns None)"
+
+
+@njit(cache=True)
+def _edge_scatter2(e0, e1, wa, wb, out_a, out_b):  # pragma: no cover - jit
+    ne, ncomp = wa.shape
+    for m in range(ne):
+        ia = e0[m]
+        ib = e1[m]
+        for c in range(ncomp):
+            out_a[ia, c] += wa[m, c]
+            out_b[ib, c] += wb[m, c]
+
+
+@njit(cache=True)
+def _spmv_csr(indptr, indices, data, x, y):  # pragma: no cover - jit
+    for i in range(indptr.size - 1):
+        acc = 0.0
+        for t in range(indptr[i], indptr[i + 1]):
+            acc += data[t] * x[indices[t]]
+        y[i] = acc
+
+
+@njit(cache=True)
+def _spmv_csr_rows(rows, indptr, indices, data, x, y):  # pragma: no cover
+    for k in range(rows.size):
+        i = rows[k]
+        acc = 0.0
+        for t in range(indptr[i], indptr[i + 1]):
+            acc += data[t] * x[indices[t]]
+        y[k] = acc
+
+
+@njit(cache=True)
+def _spmv_bsr(indptr, indices, data, x, y):  # pragma: no cover - jit
+    nbrows = indptr.size - 1
+    bs = data.shape[1]
+    for i in range(nbrows):
+        for r in range(bs):
+            y[i, r] = 0.0
+        for t in range(indptr[i], indptr[i + 1]):
+            j = indices[t]
+            for r in range(bs):
+                p = 0.0
+                for c in range(bs):
+                    p += data[t, r, c] * x[j, c]
+                y[i, r] += p
+
+
+@njit(cache=True)
+def _gather_spmv_bsr(cols, seg, data, x, y):  # pragma: no cover - jit
+    nblocks, bs = data.shape[0], data.shape[1]
+    for k in range(nblocks):
+        j = cols[k]
+        i = seg[k]
+        for r in range(bs):
+            p = 0.0
+            for c in range(bs):
+                p += data[k, r, c] * x[j, c]
+            y[i, r] += p
+
+
+@njit(cache=True)
+def _lower_solve_csr(order, indptr, indices, data, x):  # pragma: no cover
+    for k in range(order.size):
+        i = order[k]
+        acc = 0.0
+        for t in range(indptr[i], indptr[i + 1]):
+            acc += np.float64(data[t]) * x[indices[t]]
+        x[i] -= acc
+
+
+@njit(cache=True)
+def _upper_solve_csr(order, indptr, indices, data, inv_diag,
+                     x):  # pragma: no cover - jit
+    for k in range(order.size):
+        i = order[k]
+        acc = 0.0
+        for t in range(indptr[i], indptr[i + 1]):
+            acc += np.float64(data[t]) * x[indices[t]]
+        x[i] = (x[i] - acc) * np.float64(inv_diag[i])
+
+
+@njit(cache=True)
+def _lower_solve_bsr(order, indptr, indices, data, x, bs):  # pragma: no cover
+    acc = np.empty(bs, dtype=np.float64)
+    for k in range(order.size):
+        i = order[k]
+        for r in range(bs):
+            acc[r] = 0.0
+        for t in range(indptr[i], indptr[i + 1]):
+            j = indices[t]
+            for r in range(bs):
+                p = 0.0
+                for c in range(bs):
+                    p += np.float64(data[t, r, c]) * x[j * bs + c]
+                acc[r] += p
+        for r in range(bs):
+            x[i * bs + r] -= acc[r]
+
+
+@njit(cache=True)
+def _upper_solve_bsr(order, indptr, indices, data, inv_diag, x,
+                     bs):  # pragma: no cover - jit
+    acc = np.empty(bs, dtype=np.float64)
+    rhs = np.empty(bs, dtype=np.float64)
+    for k in range(order.size):
+        i = order[k]
+        for r in range(bs):
+            acc[r] = 0.0
+        for t in range(indptr[i], indptr[i + 1]):
+            j = indices[t]
+            for r in range(bs):
+                p = 0.0
+                for c in range(bs):
+                    p += np.float64(data[t, r, c]) * x[j * bs + c]
+                acc[r] += p
+        for r in range(bs):
+            rhs[r] = x[i * bs + r] - acc[r]
+        for r in range(bs):
+            p = 0.0
+            for c in range(bs):
+                p += np.float64(inv_diag[i, r, c]) * rhs[c]
+            x[i * bs + r] = p
+
+
+@njit(cache=True)
+def _scatter_blocks(slots, src, sign, data):  # pragma: no cover - jit
+    nslots = slots.size
+    bsq = src.size // max(nslots, 1)
+    flat = src.reshape(nslots, bsq)
+    out = data.reshape(-1, bsq)
+    for k in range(nslots):
+        s = slots[k]
+        for c in range(bsq):
+            out[s, c] = sign * flat[k, c]
+
+
+class NumbaBackend:
+    """Same call surface as :class:`repro.kernels.cbackend.CBackend`."""
+
+    name = "numba"
+
+    def edge_scatter2(self, e0, e1, wa, wb, n):
+        trailing = int(np.prod(wa.shape[1:])) if wa.ndim > 1 else 1
+        out_a = np.zeros((n, trailing), dtype=np.float64)
+        out_b = np.zeros((n, trailing), dtype=np.float64)
+        _edge_scatter2(e0, e1, wa.reshape(wa.shape[0], trailing),
+                       wb.reshape(wb.shape[0], trailing), out_a, out_b)
+        return (out_a.reshape((n,) + wa.shape[1:]),
+                out_b.reshape((n,) + wb.shape[1:]))
+
+    def spmv_csr(self, indptr, indices, data, x):
+        y = np.empty(indptr.size - 1, dtype=np.float64)
+        _spmv_csr(indptr, indices, data, x, y)
+        return y
+
+    def spmv_csr_rows(self, indptr, indices, data, x, rows):
+        y = np.empty(rows.size, dtype=np.float64)
+        _spmv_csr_rows(rows, indptr, indices, data, x, y)
+        return y
+
+    def spmv_bsr(self, indptr, indices, data, x, nbrows):
+        bs = data.shape[1]
+        y = np.empty((nbrows, bs), dtype=np.float64)
+        _spmv_bsr(indptr, indices, data, x.reshape(-1, bs), y)
+        return y.ravel()
+
+    def gather_spmv_bsr(self, data_blocks, cols, seg, x, n_owned):
+        bs = data_blocks.shape[1]
+        y = np.zeros((n_owned, bs), dtype=np.float64)
+        _gather_spmv_bsr(cols, seg, data_blocks, x, y)
+        return y
+
+    def lower_solve_csr(self, indptr, indices, data, x, order):
+        _lower_solve_csr(order, indptr, indices, data, x)
+
+    def upper_solve_csr(self, indptr, indices, data, inv_diag, x, order):
+        _upper_solve_csr(order, indptr, indices, data, inv_diag, x)
+
+    def lower_solve_bsr(self, indptr, indices, data, x, order, bs):
+        _lower_solve_bsr(order, indptr, indices, data, x, bs)
+
+    def upper_solve_bsr(self, indptr, indices, data, inv_diag, x, order, bs):
+        _upper_solve_bsr(order, indptr, indices, data, inv_diag, x, bs)
+
+    def scatter_blocks(self, slots, src, sign, data):
+        _scatter_blocks(slots, np.ascontiguousarray(src), float(sign),
+                        data)

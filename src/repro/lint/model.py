@@ -42,13 +42,19 @@ SUPPRESS_TOKENS = {
     "loop-ok": "R003",
     "scatter-ok": "R004",
     "telemetry-ok": "R005",
+    "compiled-ok": "R006",
 }
 
 #: Module-classification tokens.  ``worker`` is a kernel module that
 #: executes inside forked worker processes: every kernel rule applies,
 #: but it may read the wall clock directly (R005's clock check), since
 #: worker-side telemetry cannot call back into the parent's recorder.
-MODULE_TOKENS = frozenset({"kernel", "setup", "worker"})
+#: ``compiled`` marks an optional compiled-backend module (numba/cffi
+#: twins of numpy kernels): the kernel dtype/loop rules do not apply —
+#: its loops are the compiled implementation, not Python hot paths —
+#: but R006 requires the module to declare its numpy oracle map
+#: (``__oracles__``) and fallback contract (``__fallback__``).
+MODULE_TOKENS = frozenset({"kernel", "setup", "worker", "compiled"})
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*(?P<body>[^#]*)")
 _TOKEN_RE = re.compile(r"^[a-z][a-z0-9-]*$")
@@ -102,7 +108,7 @@ class ModuleInfo:
     lines: list[str] = field(default_factory=list)
     tree: ast.Module | None = None
     syntax_error: str | None = None
-    kind: str | None = None                # "kernel"|"setup"|"worker"|None
+    kind: str | None = None        # "kernel"|"setup"|"worker"|"compiled"|None
     pragmas: list[Pragma] = field(default_factory=list)
     # line -> set of rule ids suppressed there
     _suppress: dict[int, set[str]] = field(default_factory=dict)
@@ -116,6 +122,10 @@ class ModuleInfo:
     @property
     def is_worker(self) -> bool:
         return self.kind == "worker"
+
+    @property
+    def is_compiled(self) -> bool:
+        return self.kind == "compiled"
 
     @property
     def is_setup(self) -> bool:

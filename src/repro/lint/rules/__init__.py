@@ -11,6 +11,7 @@ from repro.lint.rules import (  # noqa: F401
     hotloop,
     scatter,
     telemetry,
+    compiled,
 )
 
-__all__ = ["oracle", "dtype", "hotloop", "scatter", "telemetry"]
+__all__ = ["oracle", "dtype", "hotloop", "scatter", "telemetry", "compiled"]

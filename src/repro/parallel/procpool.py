@@ -89,6 +89,7 @@ _H_MAT_TOKEN = 5   # generation counter of the loaded matrix
 _H_MAT_NNZB = 6    # block count of the matrix being loaded
 _H_MAT_BS = 7      # block size of the matrix being loaded
 _H_MAT_DTYPE = 8   # data dtype code of the matrix being loaded
+_H_MAT_ENGINE = 9  # kernel tier of the matrix (0 numpy, 1 compiled)
 _HDR_SLOTS = 16
 
 _OP_SHUTDOWN = 0
@@ -437,6 +438,10 @@ class ProcPool:
             hdr[_H_MAT_NNZB] = nnzb
             hdr[_H_MAT_BS] = bs
             hdr[_H_MAT_DTYPE] = code
+            # The matrix's kernel tier rides the broadcast so every
+            # worker's matvec runs the same engine as the seq executor.
+            hdr[_H_MAT_ENGINE] = int(getattr(a, "engine", "numpy")
+                                     == "compiled")
             self._set_name(seg.name)
             self._run(_OP_LOAD_MATRIX)
         except BaseException:
@@ -544,7 +549,7 @@ class ProcPool:
         go = self._go[wid]
         done = self._done[wid]
         rec = TraceRecorder()
-        state = {"token": 0, "cache": {}, "ws": {}}
+        state = {"token": 0, "cache": {}, "ws": {}, "engine": "numpy"}
         try:
             # lint: loop-ok (worker command loop, one pass per op)
             while True:
@@ -652,7 +657,7 @@ class ProcPool:
                            dtype=np.result_type(data_rows, loc)))
             mats["ws"][key] = ws
         return rank_matvec(data_rows, cols, seg, loc, rd.n_owned,
-                           workspace=ws)
+                           workspace=ws, engine=mats["engine"])
 
     def _w_dot(self, ranks) -> None:
         hdr = self._hdr
@@ -694,6 +699,8 @@ class ProcPool:
                 cache[r] = (np.ascontiguousarray(data[flat]), cols, seg_ids)
             state["cache"] = cache
             state["ws"] = {}      # shapes change with the pattern
+            state["engine"] = ("compiled" if int(hdr[_H_MAT_ENGINE])
+                               else "numpy")
             state["token"] = int(hdr[_H_MAT_TOKEN])
             del indptr, indices, data, mat
         finally:

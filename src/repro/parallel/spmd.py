@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.euler.discretization import EdgeFVDiscretization
 from repro.sparse.bsr import BSRMatrix
 from repro.sparse.segsum import concat_ranges, segment_sum
@@ -270,8 +271,17 @@ def rank_residual(disc: EdgeFVDiscretization, rd: RankLocalData,
         s = (disc.dual.edge_normals[rd.edge_ids]
              if edge_normals is None else edge_normals)
         f = rusanov_flux(ql, qr, s, disc._flux, disc._wavespeed)
-        r_local = (segment_sum(rd.local_edges[:, 0], f, rd.n_local)
-                   - segment_sum(rd.local_edges[:, 1], f, rd.n_local))
+        engine = getattr(disc, "engine", "numpy")
+        scat = (_kernels.edge_scatter2(rd.local_edges[:, 0],
+                                       rd.local_edges[:, 1], f, f,
+                                       rd.n_local, engine)
+                if engine != "numpy" and np.dtype(out_dtype) == np.float64
+                else None)
+        if scat is not None:
+            r_local = scat[0] - scat[1]
+        else:
+            r_local = (segment_sum(rd.local_edges[:, 0], f, rd.n_local)
+                       - segment_sum(rd.local_edges[:, 1], f, rd.n_local))
     # Boundary closures on owned boundary vertices.
     bc = disc.bc
     bmask = np.isin(bc.vertices, rd.owned, assume_unique=False)
@@ -314,7 +324,8 @@ def rank_matvec_structs(a: BSRMatrix, rd: RankLocalData):
 
 def rank_matvec(data_rows: np.ndarray, cols: np.ndarray, seg: np.ndarray,
                 local_x_r: np.ndarray, n_owned: int,
-                workspace: tuple | None = None) -> np.ndarray:
+                workspace: tuple | None = None,
+                engine: str = "numpy") -> np.ndarray:
     """One rank's owned SpMV rows: block-gemv the gathered blocks and
     segment-sum per owned row.  Shared by both executors (see
     :func:`rank_residual`).
@@ -324,7 +335,15 @@ def rank_matvec(data_rows: np.ndarray, cols: np.ndarray, seg: np.ndarray,
     multi-MB temporaries fresh costs a page-fault sweep per matvec.
     ``np.take``/``np.einsum`` into a preallocated buffer compute the
     same values as the allocating forms, so results are bitwise
-    identical either way (asserted by the proc-backend tests)."""
+    identical either way (asserted by the proc-backend tests).
+    ``engine="compiled"`` runs the gather + block-gemv + scatter as one
+    fused compiled pass (ULP-bounded vs the einsum path; both executors
+    pass the same engine, so seq/proc identity is preserved)."""
+    if engine != "numpy":
+        y = _kernels.gather_spmv_bsr(data_rows, cols, seg, local_x_r,
+                                     n_owned, engine)
+        if y is not None:
+            return y
     if workspace is None:
         prods = np.einsum("kij,kj->ki", data_rows, local_x_r[cols])
     else:
@@ -450,7 +469,8 @@ def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
             # entries of every row, block-gemv them, segment-sum per row.
             flat, cols, seg = rank_matvec_structs(a, rd)
             y[rd.owned] = rank_matvec(a.data[flat], cols, seg,
-                                      local_x[rd.rank], rd.owned.size)
+                                      local_x[rd.rank], rd.owned.size,
+                                      engine=a.engine)
         per_rank_s[rd.rank] = sp.elapsed
     rec.record_wait("matvec", per_rank_s)
     return y.ravel()

@@ -42,6 +42,7 @@ class ASMConfig:
     fill_level: int = 0
     variant: ASMVariant = ASMVariant.RESTRICTED
     storage_dtype: type = np.float64
+    engine: str = "numpy"   # kernel tier for the subdomain trisolves
 
     def __post_init__(self) -> None:
         if self.overlap < 0:
@@ -124,7 +125,8 @@ class AdditiveSchwarz:
                 owned = np.isin(rows, core, assume_unique=True)
                 self.subdomains.append(SubdomainSolver.build(
                     a, rows, owned, self.config.fill_level,
-                    storage_dtype=self.config.storage_dtype))
+                    storage_dtype=self.config.storage_dtype,
+                    engine=self.config.engine))
         return self
 
     # -- application ----------------------------------------------------

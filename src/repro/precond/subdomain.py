@@ -34,7 +34,8 @@ class SubdomainSolver:
     def build(cls, a: CSRMatrix | BSRMatrix, rows: np.ndarray,
               owned: np.ndarray, fill_level: int,
               storage_dtype=np.float64,
-              pattern: ILUPattern | None = None) -> "SubdomainSolver":
+              pattern: ILUPattern | None = None,
+              engine: str = "numpy") -> "SubdomainSolver":
         """Extract the overlapped submatrix of ``a`` and factor it.
 
         ``pattern`` is the symbolic ILU(k) pattern from a previous
@@ -47,10 +48,10 @@ class SubdomainSolver:
         sub = a.submatrix(rows)
         if isinstance(a, BSRMatrix):
             factor = ilu_bsr(sub, fill_level, pattern=pattern,
-                             storage_dtype=storage_dtype)
+                             storage_dtype=storage_dtype, engine=engine)
         else:
             factor = ilu_csr(sub, fill_level, pattern=pattern,
-                             storage_dtype=storage_dtype)
+                             storage_dtype=storage_dtype, engine=engine)
         return cls(rows=rows, owned=np.asarray(owned, dtype=bool),
                    factor=factor, fill_level=fill_level)
 
@@ -60,7 +61,8 @@ class SubdomainSolver:
         symbolic pattern (hence its elimination schedule)."""
         return self.build(a, self.rows, self.owned, self.fill_level,
                           storage_dtype=self.factor.l_data.dtype,
-                          pattern=self.factor.pattern)
+                          pattern=self.factor.pattern,
+                          engine=self.factor.engine)
 
     @property
     def num_rows(self) -> int:

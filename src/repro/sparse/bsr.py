@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.segsum import segment_sum
 
@@ -33,6 +34,7 @@ class BSRMatrix:
     indices: np.ndarray
     data: np.ndarray
     nbcols: int
+    engine: str = "numpy"   # kernel tier for matvec (see repro.kernels)
 
     def __post_init__(self) -> None:
         self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
@@ -99,6 +101,12 @@ class BSRMatrix:
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """y = A @ x with x interlaced (block-contiguous)."""
         bs = self.bs
+        if self.engine != "numpy":
+            y = _kernels.spmv_bsr(self.indptr, self.indices, self.data,
+                                  np.asarray(x).ravel(), self.nbrows,
+                                  self.engine)
+            if y is not None:
+                return y
         xb = np.asarray(x).reshape(self.nbcols, bs)
         # (nnzb, bs) products of each block with its x block.
         prods = np.einsum("kij,kj->ki", self.data, xb[self.indices])
@@ -123,7 +131,7 @@ class BSRMatrix:
         data = self.data.copy()
         data[mask] += np.asarray(dblocks)
         return BSRMatrix(indptr=self.indptr, indices=self.indices,
-                         data=data, nbcols=self.nbcols)
+                         data=data, nbcols=self.nbcols, engine=self.engine)
 
     def to_csr(self) -> CSRMatrix:
         """Expand to point CSR in the interlaced (point-block) ordering."""
@@ -135,8 +143,10 @@ class BSRMatrix:
                                  indexing="ij")
         rows = (row_of[:, None, None] * bs + i_loc[None]).ravel()
         cols = (self.indices[:, None, None] * bs + j_loc[None]).ravel()
-        return CSRMatrix.from_coo(rows, cols, self.data.ravel(),
-                                  (self.nbrows * bs, self.nbcols * bs))
+        out = CSRMatrix.from_coo(rows, cols, self.data.ravel(),
+                                 (self.nbrows * bs, self.nbcols * bs))
+        out.engine = self.engine
+        return out
 
     def submatrix(self, brows: np.ndarray) -> "BSRMatrix":
         """Principal block submatrix on the given block-row set."""
@@ -145,10 +155,12 @@ class BSRMatrix:
         local[brows] = np.arange(brows.size, dtype=np.int64)
         row_of = self.row_of
         keep = (local[row_of] >= 0) & (local[self.indices] >= 0)
-        return BSRMatrix.from_block_coo(local[row_of[keep]],
-                                        local[self.indices[keep]],
-                                        self.data[keep],
-                                        (brows.size, brows.size))
+        out = BSRMatrix.from_block_coo(local[row_of[keep]],
+                                       local[self.indices[keep]],
+                                       self.data[keep],
+                                       (brows.size, brows.size))
+        out.engine = self.engine
+        return out
 
     def permuted(self, perm: np.ndarray) -> "BSRMatrix":
         """Symmetric block permutation (new block i = old block perm[i])."""
@@ -156,16 +168,20 @@ class BSRMatrix:
         inv = np.empty(perm.size, dtype=np.int64)
         inv[perm] = np.arange(perm.size, dtype=np.int64)
         row_of = self.row_of
-        return BSRMatrix.from_block_coo(inv[row_of], inv[self.indices],
-                                        self.data, (self.nbrows, self.nbcols))
+        out = BSRMatrix.from_block_coo(inv[row_of], inv[self.indices],
+                                       self.data, (self.nbrows, self.nbcols))
+        out.engine = self.engine
+        return out
 
     def astype(self, dtype) -> "BSRMatrix":
         return BSRMatrix(indptr=self.indptr, indices=self.indices,
-                         data=self.data.astype(dtype), nbcols=self.nbcols)
+                         data=self.data.astype(dtype), nbcols=self.nbcols,
+                         engine=self.engine)
 
     def copy(self) -> "BSRMatrix":
         return BSRMatrix(indptr=self.indptr.copy(), indices=self.indices.copy(),
-                         data=self.data.copy(), nbcols=self.nbcols)
+                         data=self.data.copy(), nbcols=self.nbcols,
+                         engine=self.engine)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)

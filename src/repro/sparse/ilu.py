@@ -374,6 +374,7 @@ class ILUFactorCSR:
     inv_diag: np.ndarray
     l_levels_sched: list[np.ndarray]
     u_levels_sched: list[np.ndarray]
+    engine: str = "numpy"   # kernel tier for the triangular solves
 
     @property
     def storage_dtype(self) -> np.dtype:
@@ -389,9 +390,10 @@ class ILUFactorCSR:
         """x = U^{-1} L^{-1} b, computed in float64."""
         p = self.pattern
         y = lower_solve_csr(p.l_indptr, p.l_indices, self.l_data, b,
-                            self.l_levels_sched)
+                            self.l_levels_sched, engine=self.engine)
         return upper_solve_csr(p.u_indptr, p.u_indices, self.u_data,
-                               self.inv_diag, y, self.u_levels_sched)
+                               self.inv_diag, y, self.u_levels_sched,
+                               engine=self.engine)
 
     def astype_storage(self, dtype) -> "ILUFactorCSR":
         return ILUFactorCSR(pattern=self.pattern,
@@ -399,12 +401,13 @@ class ILUFactorCSR:
                             u_data=self.u_data.astype(dtype),
                             inv_diag=self.inv_diag.astype(dtype),
                             l_levels_sched=self.l_levels_sched,
-                            u_levels_sched=self.u_levels_sched)
+                            u_levels_sched=self.u_levels_sched,
+                            engine=self.engine)
 
 
 def ilu_csr(a: CSRMatrix, fill_level: int = 0,
             pattern: ILUPattern | None = None,
-            storage_dtype=np.float64) -> ILUFactorCSR:
+            storage_dtype=np.float64, engine: str = "numpy") -> ILUFactorCSR:
     """Numeric ILU(k) of a scalar CSR matrix, schedule driven.
 
     With a reused ``pattern`` (the production path: one symbolic phase,
@@ -436,6 +439,7 @@ def ilu_csr(a: CSRMatrix, fill_level: int = 0,
         inv_diag=1.0 / w[off_d:off_u],
         l_levels_sched=sched.l_solve,
         u_levels_sched=sched.u_solve,
+        engine=engine,
     )
     if np.dtype(storage_dtype) != np.float64:
         factor = factor.astype_storage(storage_dtype)
@@ -523,6 +527,7 @@ class ILUFactorBSR:
     inv_diag: np.ndarray        # (n, bs, bs)
     l_levels_sched: list[np.ndarray]
     u_levels_sched: list[np.ndarray]
+    engine: str = "numpy"       # kernel tier for the triangular solves
 
     @property
     def storage_dtype(self) -> np.dtype:
@@ -536,10 +541,11 @@ class ILUFactorBSR:
     def solve(self, b: np.ndarray) -> np.ndarray:
         p = self.pattern
         y = lower_solve_blocks(p.l_indptr, p.l_indices, self.l_data, b,
-                               self.l_levels_sched, self.bs)
+                               self.l_levels_sched, self.bs,
+                               engine=self.engine)
         return upper_solve_blocks(p.u_indptr, p.u_indices, self.u_data,
                                   self.inv_diag, y, self.u_levels_sched,
-                                  self.bs)
+                                  self.bs, engine=self.engine)
 
     def astype_storage(self, dtype) -> "ILUFactorBSR":
         return ILUFactorBSR(pattern=self.pattern, bs=self.bs,
@@ -547,12 +553,13 @@ class ILUFactorBSR:
                             u_data=self.u_data.astype(dtype),
                             inv_diag=self.inv_diag.astype(dtype),
                             l_levels_sched=self.l_levels_sched,
-                            u_levels_sched=self.u_levels_sched)
+                            u_levels_sched=self.u_levels_sched,
+                            engine=self.engine)
 
 
 def ilu_bsr(a: BSRMatrix, fill_level: int = 0,
             pattern: ILUPattern | None = None,
-            storage_dtype=np.float64) -> ILUFactorBSR:
+            storage_dtype=np.float64, engine: str = "numpy") -> ILUFactorBSR:
     """Numeric block ILU(k) of a BSR matrix, schedule driven.
 
     Same plan as :func:`ilu_csr` with scalars replaced by ``bs x bs``
@@ -588,6 +595,7 @@ def ilu_bsr(a: BSRMatrix, fill_level: int = 0,
         inv_diag=inv_diag,
         l_levels_sched=sched.l_solve,
         u_levels_sched=sched.u_solve,
+        engine=engine,
     )
     if np.dtype(storage_dtype) != np.float64:
         factor = factor.astype_storage(storage_dtype)

@@ -16,6 +16,7 @@ import hashlib
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.sparse.segsum import concat_ranges, segment_sum
 
 __all__ = ["level_schedule", "level_schedule_ref", "lower_solve_csr",
@@ -110,8 +111,18 @@ def level_schedule(indptr: np.ndarray, indices: np.ndarray,
     return levels
 
 
-def _row_dot(indptr, indices, data, x, rows):
-    """sum_j data[i,j] * x[j] for each i in rows, vectorised."""
+def _row_dot(indptr, indices, data, x, rows, engine="numpy"):
+    """sum_j data[i,j] * x[j] for each i in rows, vectorised.
+
+    With ``engine="compiled"`` the per-row dots run in the compiled
+    SpMV-subset kernel (bitwise identical: ``segment_sum`` over a
+    sorted ``out_row`` accumulates each row's products sequentially in
+    storage order, exactly like the compiled row loop).
+    """
+    if engine != "numpy":
+        y = _kernels.spmv_csr(indptr, indices, data, x, engine, rows=rows)
+        if y is not None:
+            return y
     starts = indptr[rows]
     counts = indptr[rows + 1] - starts
     total = int(counts.sum())
@@ -132,19 +143,32 @@ def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return concat_ranges(starts, counts)
 
 
-def lower_solve_csr(indptr, indices, data, b, levels) -> np.ndarray:
-    """Solve L x = b with L unit lower triangular (strict part stored)."""
+def lower_solve_csr(indptr, indices, data, b, levels,
+                    engine="numpy") -> np.ndarray:
+    """Solve L x = b with L unit lower triangular (strict part stored).
+
+    ``engine="compiled"`` runs the dependency-ordered compiled row
+    loop (bitwise identical to the level-batched path); it degrades to
+    the numpy batches when no backend is available.
+    """
     x = np.array(b, dtype=np.float64, copy=True)
+    if engine != "numpy" and _kernels.lower_solve_csr(
+            indptr, indices, data, x, levels, engine):
+        return x
     # lint: loop-ok (one vectorised batch per dependency level, O(levels))
     for rows in levels:
         x[rows] -= _row_dot(indptr, indices, data, x, rows)
     return x
 
 
-def upper_solve_csr(indptr, indices, data, inv_diag, b, levels) -> np.ndarray:
+def upper_solve_csr(indptr, indices, data, inv_diag, b, levels,
+                    engine="numpy") -> np.ndarray:
     """Solve U x = b with U upper triangular; ``indices``/``data`` hold
     the strictly-upper part and ``inv_diag`` the reciprocal diagonal."""
     x = np.array(b, dtype=np.float64, copy=True)
+    if engine != "numpy" and _kernels.upper_solve_csr(
+            indptr, indices, data, inv_diag, x, levels, engine):
+        return x
     # lint: loop-ok (one vectorised batch per dependency level, O(levels))
     for rows in levels:
         x[rows] = (x[rows] - _row_dot(indptr, indices, data, x, rows)) \
@@ -165,19 +189,34 @@ def _row_dot_blocks(indptr, indices, data, x, rows, bs):
     return segment_sum(out_row, prods, rows.size).astype(x.dtype, copy=False)
 
 
-def lower_solve_blocks(indptr, indices, data, b, levels, bs) -> np.ndarray:
-    """Block variant of :func:`lower_solve_csr`; b has shape (nbrows*bs,)."""
-    x = np.array(b, dtype=np.float64, copy=True).reshape(-1, bs)
+def lower_solve_blocks(indptr, indices, data, b, levels, bs,
+                       engine="numpy") -> np.ndarray:
+    """Block variant of :func:`lower_solve_csr`; b has shape (nbrows*bs,).
+
+    The compiled path is ULP-bounded (not bitwise) against the numpy
+    batches: ``np.einsum`` sums block columns in SIMD pairwise order,
+    the compiled loop sequentially.
+    """
+    x = np.array(b, dtype=np.float64, copy=True)
+    if engine != "numpy" and _kernels.lower_solve_bsr(
+            indptr, indices, data, x, levels, bs, engine):
+        return x
+    x = x.reshape(-1, bs)
     # lint: loop-ok (one vectorised batch per dependency level, O(levels))
     for rows in levels:
         x[rows] -= _row_dot_blocks(indptr, indices, data, x, rows, bs)
     return x.ravel()
 
 
-def upper_solve_blocks(indptr, indices, data, inv_diag, b, levels, bs) -> np.ndarray:
+def upper_solve_blocks(indptr, indices, data, inv_diag, b, levels, bs,
+                       engine="numpy") -> np.ndarray:
     """Block variant of :func:`upper_solve_csr`; ``inv_diag`` holds the
     (nbrows, bs, bs) inverses of the diagonal blocks."""
-    x = np.array(b, dtype=np.float64, copy=True).reshape(-1, bs)
+    x = np.array(b, dtype=np.float64, copy=True)
+    if engine != "numpy" and _kernels.upper_solve_bsr(
+            indptr, indices, data, inv_diag, x, levels, bs, engine):
+        return x
+    x = x.reshape(-1, bs)
     # lint: loop-ok (one vectorised batch per dependency level, O(levels))
     for rows in levels:
         rhs = x[rows] - _row_dot_blocks(indptr, indices, data, x, rows, bs)

@@ -1,0 +1,29 @@
+# lint: compiled (fixture: fully declared backend)
+"""A compiled backend with the complete contract: every public
+callable mapped to its numpy oracle, a fallback declared, and one
+deliberate exception suppressed in place."""
+
+__oracles__ = {
+    "spmv": "pkg.sparse.csr.CSRMatrix.matvec",
+    "load_backend": "pkg.kernels.backend_for",
+}
+
+__fallback__ = "pure numpy via pkg.kernels dispatch (returns None)"
+
+
+def load_backend():
+    return Backend()
+
+
+def selftest():  # lint: compiled-ok (diagnostic helper, not a kernel)
+    return True
+
+
+class Backend:
+    name = "fixture"
+
+    def spmv(self, indptr, indices, data, x):
+        return x
+
+    def _scratch(self, n):
+        return [0.0] * n

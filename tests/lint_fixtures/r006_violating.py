@@ -1,0 +1,23 @@
+# lint: compiled (fixture: backend with holes in its declarations)
+"""A compiled backend missing its degradation contract: no
+``__fallback__``, an ``__oracles__`` entry that is not a dotted path,
+and a public method with no oracle claim at all."""
+
+__oracles__ = {
+    "spmv": "not-a-dotted-path",
+    "load_backend": "pkg.backend.load_backend",
+}
+
+
+def load_backend():
+    return Backend()
+
+
+class Backend:
+    name = "fixture"
+
+    def spmv(self, indptr, indices, data, x):
+        return x
+
+    def trisolve(self, indptr, indices, data, x):
+        return x

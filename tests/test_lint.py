@@ -22,7 +22,7 @@ from repro.lint.registry import all_rules
 REPO = Path(__file__).resolve().parents[1]
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 
-RULES = ["R001", "R002", "R003", "R004", "R005"]
+RULES = ["R001", "R002", "R003", "R004", "R005", "R006"]
 
 
 def lint_fixture(name, **kwargs):
@@ -77,6 +77,21 @@ class TestRuleFixtures:
             "    return out\n")
         findings = run_lint([mod], tests_dir=None)
         assert {f.rule for f in findings} == {"R002", "R003"}
+
+    def test_r006_counts_each_missing_declaration(self):
+        """Non-dotted oracle path + missing __fallback__ + one
+        undeclared public method are three separate findings."""
+        findings = lint_fixture("r006_violating.py")
+        assert len(findings) == 3
+        assert any("__fallback__" in f.message for f in findings)
+        assert any("trisolve" in f.message for f in findings)
+
+    def test_r006_skips_unmarked_modules(self, tmp_path):
+        """R006 only fires on '# lint: compiled' modules — an ordinary
+        module exposing public callables with no __oracles__ is fine."""
+        mod = tmp_path / "plainmod.py"
+        mod.write_text("def helper(x):\n    return x\n")
+        assert run_lint([mod], tests_dir=None) == []
 
     def test_findings_carry_location_and_fingerprint(self):
         (finding,) = lint_fixture("r004_violating.py")
@@ -229,5 +244,5 @@ class TestCli:
         for rule in RULES:
             assert rule in out
 
-    def test_registry_has_five_rules(self):
+    def test_registry_has_six_rules(self):
         assert [r.id for r in all_rules()] == RULES
