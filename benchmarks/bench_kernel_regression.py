@@ -23,10 +23,20 @@ case the acceptance numbers quote; CI smoke-runs N=6).
 from __future__ import annotations
 
 import argparse
+import os
+
+# Pin the BLAS/OpenMP thread pools to one thread BEFORE numpy loads:
+# kernel medians must measure the kernels, not whatever implicit
+# threading the host's BLAS happens to ship.  setdefault keeps an
+# explicit operator override honoured; the realised values are
+# recorded in the report meta so runs are comparable.
+_THREAD_ENV = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+               "MKL_NUM_THREADS", "VECLIB_MAXIMUM_THREADS",
+               "NUMEXPR_NUM_THREADS", "NUMBA_NUM_THREADS")
+for _var in _THREAD_ENV:
+    os.environ.setdefault(_var, "1")
 
 import numpy as np
-
-import os
 
 from repro.euler.problems import wing_problem
 from repro.kernels import capability
@@ -270,6 +280,8 @@ def run(size: int, repeats: int, out: str | None) -> dict:
         "repeats": repeats,
         "numpy": np.__version__,
         "compiled_backend": capability.resolve_engine("compiled"),
+        "cpu_count": os.cpu_count(),
+        "thread_env": {var: os.environ.get(var) for var in _THREAD_ENV},
     }
     if out:
         path = write_report(out, kernels, meta)

@@ -51,17 +51,19 @@ class _SPMDOperator(OperatorFromCallable):
     """
 
     def __init__(self, matrix, layout: SPMDLayout, executor,
-                 recorder=NULL_RECORDER) -> None:
+                 recorder=NULL_RECORDER, threads: int = 1) -> None:
         super().__init__(self._apply, matrix.shape[0])
         self.matrix = matrix
         self.layout = layout
         self.executor = executor
         self.recorder = recorder
+        self.threads = threads
 
     def _apply(self, x: np.ndarray) -> np.ndarray:
         return distributed_matvec(self.matrix, self.layout, x,
                                   executor=self.executor,
-                                  recorder=self.recorder)
+                                  recorder=self.recorder,
+                                  threads=self.threads)
 
 
 @dataclass
@@ -184,7 +186,8 @@ class NKSSolver:
             self._labels,
             ASMConfig(overlap=cfg.overlap, fill_level=cfg.fill_level,
                       variant=cfg.variant, storage_dtype=cfg.dtype,
-                      engine=self.config.engine),
+                      engine=self.config.engine,
+                      threads=self.config.threads),
             graph=self.disc.mesh.vertex_graph(),
             recorder=self.recorder,
         )
@@ -209,7 +212,8 @@ class NKSSolver:
         pool = None
         if cfg.executor == "proc":
             from repro.parallel.procpool import ProcPool
-            pool = ProcPool(self._layout, self.disc, nworkers=cfg.nworkers)
+            pool = ProcPool(self._layout, self.disc, nworkers=cfg.nworkers,
+                            threads=cfg.threads)
         spmd_exec = pool if pool is not None \
             else ("seq" if cfg.executor == "seq" else None)
         try:
@@ -244,7 +248,8 @@ class NKSSolver:
                 # 'proc', merged when the pool is collected).
                 f = distributed_residual(self.disc, self._layout, q,
                                          executor=spmd_exec,
-                                         recorder=rec)
+                                         recorder=rec,
+                                         threads=cfg.threads)
             else:
                 with rec.span("flux"):
                     f = self.disc.residual(q, second_order=order)
@@ -269,6 +274,9 @@ class NKSSolver:
                 t0 = time.perf_counter()
                 with rec.span("jacobian"):
                     jac = self.disc.shifted_jacobian(q, cfl)
+                # The hybrid thread knob rides the matrix so the local
+                # (non-SPMD) Krylov matvec is team-parallel too.
+                jac.threads = cfg.threads
                 t_asm = time.perf_counter() - t0
                 t0 = time.perf_counter()
                 # Keep the preconditioner instance across refreshes: the
@@ -290,7 +298,7 @@ class NKSSolver:
                                                  second_order=order)
             elif spmd_exec is not None:
                 op = _SPMDOperator(self._jac, self._layout, spmd_exec,
-                                   recorder=rec)
+                                   recorder=rec, threads=cfg.threads)
             else:
                 op = OperatorFromMatrix(self._jac)
             with rec.span("krylov"):

@@ -50,19 +50,22 @@ def backend_for(engine: str):
         return None
     backend = _BACKENDS.get(name)
     if backend is None:
+        init_exc: Exception | None = None
         if name == "numba":
             try:
                 from repro.kernels.nbbackend import NumbaBackend
                 backend = NumbaBackend()
-            except Exception:
+            except Exception as exc:
                 backend = None
+                init_exc = exc
         else:
             from repro.kernels.cbackend import load_cbackend
             backend = load_cbackend()
         if backend is None:
             # Initialisation failed (broken toolchain, bad numba):
-            # remember, then re-resolve without this backend.
-            capability.mark_unavailable(name)
+            # quarantine with the reason, then re-resolve without this
+            # backend.  load_cbackend records its own exception.
+            capability.mark_unavailable(name, exc=init_exc)
             return backend_for(engine)
         _BACKENDS[name] = backend
     return backend

@@ -4,9 +4,16 @@
 decides at dispatch time which backend — numba ``@njit``, a
 cffi-compiled C library, or plain numpy — will actually serve it.  The
 probes are import-guarded and cached, so environments without numba or
-a C toolchain silently resolve ``"compiled"`` to ``"numpy"`` and run
-the oracle tier unchanged; nothing in the repo ever hard-imports an
-optional dependency.
+a C toolchain resolve ``"compiled"`` to ``"numpy"`` and run the oracle
+tier unchanged; nothing in the repo ever hard-imports an optional
+dependency.
+
+The degradation is no longer *silent*: every probe failure and every
+backend-initialisation failure is quarantined with its exception
+(type, message, traceback tail) in :func:`capability_report`, the
+first ``compiled`` -> ``numpy`` fallback caused by a quarantined
+backend emits a ``RuntimeWarning``, and ``python -m
+repro.kernels.capability`` prints the full report.
 
 Set ``REPRO_KERNELS_DISABLE=1`` to force the numpy resolution even
 when a backend is available (the CI fallback leg, A/B debugging).
@@ -18,9 +25,12 @@ from __future__ import annotations
 
 import os
 import shutil
+import traceback
+import warnings
 
 __all__ = ["probe_numba", "probe_c", "available_backends",
-           "resolve_engine", "mark_unavailable", "invalidate"]
+           "resolve_engine", "mark_unavailable", "record_quarantine",
+           "capability_report", "invalidate"]
 
 ENGINES = ("numpy", "compiled")
 
@@ -28,13 +38,42 @@ ENGINES = ("numpy", "compiled")
 _PROBE_CACHE: dict[str, bool] = {}
 #: backends whose lazy initialisation failed (e.g. the C build broke)
 _BROKEN: set[str] = set()
+#: backend -> details of why it is out of service (probe or init stage)
+_QUARANTINE: dict[str, dict] = {}
+#: has the one-shot fallback warning fired yet
+_WARNED = False
+
+#: lines of formatted traceback kept in a quarantine record
+_TB_TAIL_LINES = 6
+
+
+def record_quarantine(backend: str, stage: str, exc: BaseException) -> None:
+    """Attach the exception that took ``backend`` out of service.
+
+    ``stage`` names where it happened (``"probe"``, ``"build"``,
+    ``"init"``); the record keeps the exception type, message, and the
+    tail of the formatted traceback so ``capability_report`` / the CLI
+    can say *why* the solver is running the numpy tier.
+    """
+    tb = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    tail = "".join(tb).rstrip().splitlines()[-_TB_TAIL_LINES:]
+    _QUARANTINE[backend] = {
+        "stage": stage,
+        "exc_type": type(exc).__name__,
+        "message": str(exc),
+        "traceback_tail": tail,
+    }
 
 
 def probe_numba() -> bool:
     """True when numba is importable (the preferred JIT backend)."""
     try:
         import numba  # noqa: F401
-    except Exception:
+    except Exception as exc:
+        # A plain ModuleNotFoundError is the expected "not installed"
+        # outcome; anything else is a broken install worth reporting.
+        # Both are recorded — the report distinguishes them by type.
+        record_quarantine("numba", "probe", exc)
         return False
     return True
 
@@ -43,9 +82,15 @@ def probe_c() -> bool:
     """True when cffi plus a C compiler are present (the C fallback)."""
     try:
         import cffi  # noqa: F401
-    except Exception:
+    except Exception as exc:
+        record_quarantine("c", "probe", exc)
         return False
-    return any(shutil.which(cc) for cc in ("gcc", "cc", "clang"))
+    if not any(shutil.which(cc) for cc in ("gcc", "cc", "clang")):
+        record_quarantine("c", "probe",
+                          FileNotFoundError("no C compiler on PATH "
+                                            "(tried gcc, cc, clang)"))
+        return False
+    return True
 
 
 def disabled() -> bool:
@@ -77,7 +122,9 @@ def resolve_engine(engine: str = "compiled") -> str:
 
     ``"numpy"`` resolves to itself; ``"compiled"`` resolves to the
     first available backend (``"numba"`` > ``"c"``) or degrades to
-    ``"numpy"`` when none is usable.
+    ``"numpy"`` when none is usable.  The first degradation caused by
+    a *quarantined* backend (one that failed, as opposed to one that
+    was never installed) warns once with the recorded reason.
     """
     if engine == "numpy":
         return "numpy"
@@ -85,16 +132,83 @@ def resolve_engine(engine: str = "compiled") -> str:
         raise ValueError(f"unknown engine {engine!r} "
                          f"(expected one of {ENGINES})")
     backends = available_backends()
-    return backends[0] if backends else "numpy"
+    if backends:
+        return backends[0]
+    _warn_fallback()
+    return "numpy"
 
 
-def mark_unavailable(backend: str) -> None:
+def _warn_fallback() -> None:
+    """Warn once when compiled -> numpy fallback hides a real failure.
+
+    A machine that simply lacks numba/cffi degrades quietly (that is
+    the documented contract); a backend that *broke* — failed C build,
+    import error inside an installed numba — is surfaced.
+    """
+    global _WARNED
+    if _WARNED or disabled():
+        return
+    benign = ("ModuleNotFoundError", "FileNotFoundError")  # not installed
+    broken = {name: rec for name, rec in _QUARANTINE.items()
+              if name in _BROKEN or rec["exc_type"] not in benign}
+    if not broken:
+        return
+    _WARNED = True
+    reasons = "; ".join(
+        f"{name}: {rec['exc_type']} at {rec['stage']} ({rec['message']})"
+        for name, rec in sorted(broken.items()))
+    warnings.warn(
+        "engine='compiled' fell back to the numpy tier because a "
+        f"backend failed — {reasons}. Run `python -m "
+        "repro.kernels.capability` for the full report.",
+        RuntimeWarning, stacklevel=3)
+
+
+def mark_unavailable(backend: str, exc: BaseException | None = None,
+                     stage: str = "init") -> None:
     """Record a backend whose initialisation failed so later resolves
-    skip it (a broken C toolchain should degrade, not raise again)."""
+    skip it (a broken C toolchain should degrade, not raise again).
+    Pass the exception so the quarantine report can explain why."""
     _BROKEN.add(backend)
+    if exc is not None:
+        record_quarantine(backend, stage, exc)
+    elif backend not in _QUARANTINE:
+        _QUARANTINE[backend] = {
+            "stage": stage, "exc_type": None,
+            "message": "marked unavailable (no exception recorded)",
+            "traceback_tail": [],
+        }
+
+
+def capability_report() -> dict:
+    """Full capability state: probes, resolution, quarantine reasons."""
+    return {
+        "disabled": disabled(),
+        "available": list(available_backends()),
+        "resolved": resolve_engine("compiled"),
+        "broken": sorted(_BROKEN),
+        "quarantine": {name: dict(rec)
+                       for name, rec in sorted(_QUARANTINE.items())},
+    }
 
 
 def invalidate() -> None:
     """Drop cached probe results (tests that fake the environment)."""
+    global _WARNED
     _PROBE_CACHE.clear()
     _BROKEN.clear()
+    _QUARANTINE.clear()
+    _WARNED = False
+
+
+def main() -> int:
+    """``python -m repro.kernels.capability``: print the report."""
+    import json
+
+    report = capability_report()
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

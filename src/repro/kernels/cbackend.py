@@ -450,5 +450,9 @@ def load_cbackend() -> CBackend | None:
         importlib.invalidate_caches()
         mod = importlib.import_module(modname)
         return CBackend(mod.ffi, mod.lib)
-    except Exception:
+    except Exception as exc:
+        # Broken toolchain / failed build: quarantine with the reason
+        # so capability_report can explain the numpy fallback.
+        from repro.kernels import capability
+        capability.record_quarantine("c", "build", exc)
         return None

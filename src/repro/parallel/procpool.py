@@ -63,12 +63,14 @@ import multiprocessing as mp
 import os
 import time
 import traceback
+import weakref
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.parallel.spmd import (GhostExchange, SPMDLayout, rank_matvec,
                                  rank_matvec_structs, rank_residual)
+from repro.parallel.threads import resolve_threads
 from repro.telemetry.recorder import NULL_RECORDER, NullRecorder, \
     TraceRecorder
 
@@ -90,6 +92,7 @@ _H_MAT_NNZB = 6    # block count of the matrix being loaded
 _H_MAT_BS = 7      # block size of the matrix being loaded
 _H_MAT_DTYPE = 8   # data dtype code of the matrix being loaded
 _H_MAT_ENGINE = 9  # kernel tier of the matrix (0 numpy, 1 compiled)
+_H_THREADS = 10    # intra-rank thread-team size of the current command
 _HDR_SLOTS = 16
 
 _OP_SHUTDOWN = 0
@@ -117,6 +120,34 @@ def _align(nbytes: int) -> int:
     return (int(nbytes) + 63) & ~63
 
 
+def _cleanup_segments(state: dict) -> None:
+    """Unlink every segment the pool still owns — the crash-path
+    counterpart of ``close()``.
+
+    Runs as a ``weakref.finalize`` callback (so a coordinator exception,
+    SIGINT, or plain garbage collection all reach it) and at the end of
+    the happy-path ``close()``.  Forked workers inherit the finalizer
+    registry, so the pid guard keeps a child exit from unlinking the
+    parent's live segments.  ``unlink`` runs before ``close`` because
+    removing the ``/dev/shm`` name is the part that stops the leak;
+    ``close`` may legitimately fail with ``BufferError`` while numpy
+    views on the buffer are still alive.
+    """
+    if os.getpid() != state["pid"]:
+        return
+    # lint: loop-ok (segment teardown, O(2))
+    for seg in state["segs"]:
+        try:
+            seg.unlink()
+        except Exception:
+            pass
+        try:
+            seg.close()
+        except Exception:
+            pass
+    state["segs"].clear()
+
+
 class ProcPool:
     """Persistent worker pool running a layout's ranks in processes.
 
@@ -129,18 +160,32 @@ class ProcPool:
     disc:
         The discretisation whose rank-local residual the pool runs.
     nworkers:
-        Worker process count; clamped to ``nranks``.  Ranks are dealt
-        round-robin (worker ``w`` owns ranks ``w, w+nworkers, ...``).
+        Worker process count; must be ``>= 1`` (raises
+        :class:`ProcPoolError` otherwise), clamped to ``nranks`` —
+        extra workers would own no ranks.  Oversubscription past
+        ``os.cpu_count()`` is allowed (the OS time-slices).  Ranks are
+        dealt round-robin (worker ``w`` owns ranks
+        ``w, w+nworkers, ...``).
+    threads:
+        Default intra-rank thread-team size workers use when an
+        operation does not specify one (see
+        :mod:`repro.parallel.threads`); must be ``>= 1`` (raises
+        :class:`ProcPoolError` otherwise).  The per-operation value
+        rides the shm header the way the matrix engine does, so both
+        executors honour the same knob.
     timeout:
         Seconds the coordinator waits for worker completion before
         declaring the pool broken (a worker died mid-operation).
 
     Use as a context manager; ``close()`` shuts the workers down and
-    unlinks every shared-memory segment.
+    unlinks every shared-memory segment.  A ``weakref.finalize`` guard
+    unlinks the segments even when ``close()`` never runs (coordinator
+    exception, SIGINT, interpreter exit), so ``/dev/shm`` is never
+    leaked.
     """
 
     def __init__(self, layout: SPMDLayout, disc, nworkers: int | None = None,
-                 *, timeout: float = 60.0) -> None:
+                 *, threads: int = 1, timeout: float = 60.0) -> None:
         if layout.nranks == 0:
             raise ValueError("cannot pool an empty layout")
         self.layout = layout
@@ -149,7 +194,13 @@ class ProcPool:
         self.n = int(disc.mesh.num_vertices)
         if nworkers is None:
             nworkers = min(layout.nranks, os.cpu_count() or 1)
-        self.nworkers = max(1, min(int(nworkers), layout.nranks))
+        if int(nworkers) < 1:
+            raise ProcPoolError(f"nworkers must be >= 1, got {nworkers!r}")
+        self.nworkers = min(int(nworkers), layout.nranks)
+        try:
+            self.threads = resolve_threads(threads)
+        except ValueError as e:
+            raise ProcPoolError(str(e)) from None
         self._timeout = float(timeout)
         self._owner_pid = os.getpid()
         self._closed = False
@@ -160,6 +211,13 @@ class ProcPool:
 
         self._precompute()
         self._create_arena()
+        # Crash-path segment guard: everything the pool creates is
+        # registered here; the finalizer unlinks whatever close()
+        # never got to (idempotent — close() invokes it too).
+        self._cleanup_state = {"pid": self._owner_pid,
+                               "segs": [self._shm]}
+        self._finalizer = weakref.finalize(self, _cleanup_segments,
+                                           self._cleanup_state)
         ctx = mp.get_context("fork")
         # Per-worker GO/DONE pairs: each worker only ever touches its
         # own, so a fast worker cannot steal a slow one's release.
@@ -300,13 +358,14 @@ class ProcPool:
                     f"pool is unusable, close() it")
 
     def _run(self, op: int, *, dtype_code: int = 0, ncomp: int = 0,
-             record: bool = False) -> None:
+             record: bool = False, threads: int = 1) -> None:
         self._check_open()
         hdr = self._hdr
         hdr[_H_OP] = op
         hdr[_H_DTYPE] = dtype_code
         hdr[_H_NCOMP] = ncomp
         hdr[_H_RECORD] = int(bool(record))
+        hdr[_H_THREADS] = int(threads)
         hdr[_H_ERR] = 0
         self._post_go()                  # release workers into the op
         self._drain_done()               # wait for completion
@@ -362,14 +421,18 @@ class ProcPool:
     # -- public operations ---------------------------------------------
     def residual(self, qglobal: np.ndarray,
                  exchange: GhostExchange | None = None,
-                 recorder=NULL_RECORDER) -> np.ndarray:
-        """First-order residual; equals the seq executor bit for bit."""
+                 recorder=NULL_RECORDER,
+                 threads: int | None = None) -> np.ndarray:
+        """First-order residual; equals the seq executor bit for bit
+        at every thread count (``threads=None`` uses the pool default).
+        """
         rec = recorder if recorder is not None else NULL_RECORDER
         self._check_open()
         ncomp = self.ncomp
+        t = self.threads if threads is None else resolve_threads(threads)
         code, dtype = self._scatter_locals(qglobal, ncomp)
         self._run(_OP_RESIDUAL, dtype_code=code, ncomp=ncomp,
-                  record=self._recording(rec))
+                  record=self._recording(rec), threads=t)
         if exchange is not None:
             exchange.account_refresh(dtype.itemsize)
         return self._view2d(self._off_out, self.n, ncomp,
@@ -377,15 +440,19 @@ class ProcPool:
 
     def matvec(self, a, xglobal: np.ndarray,
                exchange: GhostExchange | None = None,
-               recorder=NULL_RECORDER) -> np.ndarray:
-        """Distributed y = A x; equals the seq executor bit for bit."""
+               recorder=NULL_RECORDER,
+               threads: int | None = None) -> np.ndarray:
+        """Distributed y = A x; equals the seq executor bit for bit
+        at every thread count (``threads=None`` uses the pool default).
+        """
         rec = recorder if recorder is not None else NULL_RECORDER
         self._check_open()
         self.set_matrix(a)
         bs = int(a.bs)
+        t = self.threads if threads is None else resolve_threads(threads)
         code, dtype = self._scatter_locals(xglobal, bs)
         self._run(_OP_MATVEC, dtype_code=code, ncomp=bs,
-                  record=self._recording(rec))
+                  record=self._recording(rec), threads=t)
         if exchange is not None:
             exchange.account_refresh(dtype.itemsize)
         return self._view2d(self._off_out, self.n, bs, dtype).copy().ravel()
@@ -423,6 +490,7 @@ class ProcPool:
         size = _align((self.n + 1) * 8) + _align(nnzb * 8) \
             + _align(max(data.nbytes, 1))
         seg = shared_memory.SharedMemory(create=True, size=size)
+        self._cleanup_state["segs"].append(seg)
         try:
             off = 0
             np.ndarray(self.n + 1, dtype=np.int64, buffer=seg.buf,
@@ -445,6 +513,7 @@ class ProcPool:
             self._set_name(seg.name)
             self._run(_OP_LOAD_MATRIX)
         except BaseException:
+            self._cleanup_state["segs"].remove(seg)
             seg.close()
             seg.unlink()
             raise
@@ -453,6 +522,7 @@ class ProcPool:
         self._mat = a
         self._mat_token += 1
         if old is not None:
+            self._cleanup_state["segs"].remove(old)
             old.close()
             old.unlink()
 
@@ -507,7 +577,14 @@ class ProcPool:
         self._hdr = self._times = self._partials = None
 
     def close(self) -> None:
-        """Shut workers down, join them, and unlink every segment."""
+        """Shut workers down, join them, and unlink every segment.
+
+        Idempotent (repeated calls are no-ops) and safe from any
+        state: a broken pool, a pool whose workers already died, or a
+        half-constructed one.  Segment teardown is delegated to the
+        ``weakref.finalize`` guard so the happy path and the crash
+        path are the same code.
+        """
         if self._closed or os.getpid() != self._owner_pid:
             return
         self._closed = True
@@ -524,18 +601,8 @@ class ProcPool:
                 p.join(timeout=10.0)
         self._res_q.close()
         self._release_views()
-        self._shm.close()
-        try:
-            self._shm.unlink()
-        except FileNotFoundError:
-            pass
-        if self._mat_seg is not None:
-            self._mat_seg.close()
-            try:
-                self._mat_seg.unlink()
-            except FileNotFoundError:
-                pass
-            self._mat_seg = None
+        self._mat_seg = None
+        self._finalizer()   # unlink + close every registered segment
 
     # -- worker side -----------------------------------------------------
     # Everything below runs in the forked children.  They inherit the
@@ -626,22 +693,27 @@ class ProcPool:
                 locs[lo + rd.n_owned: lo + rd.n_local] = \
                     locs[self._ghost_src[r]]
         # Compute: the shared rank kernels over the rank-local rows.
+        threads = int(hdr[_H_THREADS]) or 1
         # lint: loop-ok (per-rank kernel execution, O(ranks per worker))
         for r in ranks:
             rd = layout.ranks[r]
             loc = locs[row_off[r]: row_off[r] + rd.n_local]
             if record:
                 with rec.span(phase, rank=r) as sp:
-                    rows = self._w_rank_kernel(phase, rd, loc, dtype, mats)
+                    rows = self._w_rank_kernel(phase, rd, loc, dtype, mats,
+                                               threads)
                 self._times[1, r] = sp.elapsed
             else:
-                rows = self._w_rank_kernel(phase, rd, loc, dtype, mats)
+                rows = self._w_rank_kernel(phase, rd, loc, dtype, mats,
+                                           threads)
             out[rd.owned] = rows
 
-    def _w_rank_kernel(self, phase: str, rd, loc, dtype, mats):
+    def _w_rank_kernel(self, phase: str, rd, loc, dtype, mats,
+                       threads: int = 1):
         if phase == "flux":
             r_local = rank_residual(self.disc, rd, loc, dtype,
-                                    edge_normals=self._normals[rd.rank])
+                                    edge_normals=self._normals[rd.rank],
+                                    threads=threads)
             return r_local[: rd.n_owned]
         if mats["token"] != int(self._hdr[_H_MAT_TOKEN]):
             raise ProcPoolError("matvec before matrix load")
@@ -657,7 +729,8 @@ class ProcPool:
                            dtype=np.result_type(data_rows, loc)))
             mats["ws"][key] = ws
         return rank_matvec(data_rows, cols, seg, loc, rd.n_owned,
-                           workspace=ws, engine=mats["engine"])
+                           workspace=ws, engine=mats["engine"],
+                           threads=threads)
 
     def _w_dot(self, ranks) -> None:
         hdr = self._hdr

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro import kernels as _kernels
 from repro.euler.discretization import EdgeFVDiscretization
+from repro.parallel.threads import chunk_ranges, resolve_threads, run_chunks
 from repro.sparse.bsr import BSRMatrix
 from repro.sparse.segsum import concat_ranges, segment_sum
 from repro.telemetry.recorder import NULL_RECORDER
@@ -251,7 +252,8 @@ def _scatter_local_state(layout: SPMDLayout, qglobal: np.ndarray,
 
 def rank_residual(disc: EdgeFVDiscretization, rd: RankLocalData,
                   local_q_r: np.ndarray, out_dtype,
-                  edge_normals: np.ndarray | None = None) -> np.ndarray:
+                  edge_normals: np.ndarray | None = None,
+                  threads: int = 1) -> np.ndarray:
     """One rank's first-order residual on its local rows.
 
     The single rank-local kernel both executors run: the sequential
@@ -259,29 +261,52 @@ def rank_residual(disc: EdgeFVDiscretization, rd: RankLocalData,
     seq/proc bitwise identity is structural, not empirical.
     ``edge_normals`` may be the pre-gathered per-rank normals (the proc
     backend caches them per worker); values are identical either way.
+
+    ``threads>1`` splits the edge loop across an intra-rank thread
+    team (the paper's OpenMP leg): each thread evaluates the fluxes of
+    a fixed contiguous edge chunk and scatters them into a private
+    accumulator; the partials are summed in chunk order.  The result
+    is deterministic for a given thread count and normwise-equivalent
+    to the single-thread kernel (the per-vertex additions are merely
+    re-associated at chunk boundaries); ``threads=1`` runs the
+    untouched single-thread path — the bitwise oracle.
     """
     from repro.euler.fluxes import rusanov_flux
 
     ncomp = disc.ncomp
+    threads = resolve_threads(threads)
     if rd.local_edges.size == 0:
         r_local = np.zeros((rd.n_local, ncomp), dtype=out_dtype)
     else:
-        ql = local_q_r[rd.local_edges[:, 0]]
-        qr = local_q_r[rd.local_edges[:, 1]]
+        e0 = rd.local_edges[:, 0]
+        e1 = rd.local_edges[:, 1]
         s = (disc.dual.edge_normals[rd.edge_ids]
              if edge_normals is None else edge_normals)
-        f = rusanov_flux(ql, qr, s, disc._flux, disc._wavespeed)
         engine = getattr(disc, "engine", "numpy")
-        scat = (_kernels.edge_scatter2(rd.local_edges[:, 0],
-                                       rd.local_edges[:, 1], f, f,
-                                       rd.n_local, engine)
-                if engine != "numpy" and np.dtype(out_dtype) == np.float64
-                else None)
-        if scat is not None:
-            r_local = scat[0] - scat[1]
+
+        def edge_chunk(lo: int, hi: int) -> np.ndarray:
+            ql = local_q_r[e0[lo:hi]]
+            qr = local_q_r[e1[lo:hi]]
+            f = rusanov_flux(ql, qr, s[lo:hi], disc._flux, disc._wavespeed)
+            scat = (_kernels.edge_scatter2(e0[lo:hi], e1[lo:hi], f, f,
+                                           rd.n_local, engine)
+                    if engine != "numpy"
+                    and np.dtype(out_dtype) == np.float64
+                    else None)
+            if scat is not None:
+                return scat[0] - scat[1]
+            return (segment_sum(e0[lo:hi], f, rd.n_local)
+                    - segment_sum(e1[lo:hi], f, rd.n_local))
+
+        if threads == 1:
+            r_local = edge_chunk(0, int(e0.size))
         else:
-            r_local = (segment_sum(rd.local_edges[:, 0], f, rd.n_local)
-                       - segment_sum(rd.local_edges[:, 1], f, rd.n_local))
+            parts = run_chunks(edge_chunk, chunk_ranges(e0.size, threads),
+                               threads)
+            r_local = parts[0]
+            # lint: loop-ok (chunk-order partial reduction, O(threads))
+            for p in parts[1:]:
+                r_local += p
     # Boundary closures on owned boundary vertices.
     bc = disc.bc
     bmask = np.isin(bc.vertices, rd.owned, assume_unique=False)
@@ -325,7 +350,7 @@ def rank_matvec_structs(a: BSRMatrix, rd: RankLocalData):
 def rank_matvec(data_rows: np.ndarray, cols: np.ndarray, seg: np.ndarray,
                 local_x_r: np.ndarray, n_owned: int,
                 workspace: tuple | None = None,
-                engine: str = "numpy") -> np.ndarray:
+                engine: str = "numpy", threads: int = 1) -> np.ndarray:
     """One rank's owned SpMV rows: block-gemv the gathered blocks and
     segment-sum per owned row.  Shared by both executors (see
     :func:`rank_residual`).
@@ -338,7 +363,19 @@ def rank_matvec(data_rows: np.ndarray, cols: np.ndarray, seg: np.ndarray,
     identical either way (asserted by the proc-backend tests).
     ``engine="compiled"`` runs the gather + block-gemv + scatter as one
     fused compiled pass (ULP-bounded vs the einsum path; both executors
-    pass the same engine, so seq/proc identity is preserved)."""
+    pass the same engine, so seq/proc identity is preserved).
+
+    ``threads>1`` splits the owned rows into contiguous chunks at
+    segment boundaries, one thread per chunk writing its disjoint
+    output rows.  Each row's accumulation order is unchanged, so the
+    threaded result is bitwise-identical to the single-thread kernel of
+    the same engine (``workspace`` is only consulted single-threaded —
+    a shared buffer pair cannot serve concurrent chunks).
+    """
+    threads = resolve_threads(threads)
+    if threads > 1 and n_owned > 1:
+        return _rank_matvec_threaded(data_rows, cols, seg, local_x_r,
+                                     n_owned, engine, threads)
     if engine != "numpy":
         y = _kernels.gather_spmv_bsr(data_rows, cols, seg, local_x_r,
                                      n_owned, engine)
@@ -351,6 +388,36 @@ def rank_matvec(data_rows: np.ndarray, cols: np.ndarray, seg: np.ndarray,
         np.take(local_x_r, cols, axis=0, out=gathered)
         np.einsum("kij,kj->ki", data_rows, gathered, out=prods)
     return segment_sum(seg, prods, n_owned)
+
+
+def _rank_matvec_threaded(data_rows: np.ndarray, cols: np.ndarray,
+                          seg: np.ndarray, local_x_r: np.ndarray,
+                          n_owned: int, engine: str,
+                          threads: int) -> np.ndarray:
+    """Row-chunked rank SpMV (see :func:`rank_matvec`): ``seg`` is
+    sorted, so ``np.searchsorted`` finds each row chunk's block-entry
+    range, and each thread runs the ordinary single-thread kernel on a
+    rebased sub-problem, writing a disjoint output row range."""
+    bs = data_rows.shape[1]
+    out_dtype = np.result_type(data_rows, local_x_r)
+    out = np.empty((n_owned, bs), dtype=out_dtype)
+
+    def row_chunk(r0: int, r1: int) -> None:
+        klo, khi = np.searchsorted(seg, (r0, r1))
+        sub_seg = seg[klo:khi] - r0
+        y = None
+        if engine != "numpy":
+            y = _kernels.gather_spmv_bsr(data_rows[klo:khi],
+                                         cols[klo:khi], sub_seg,
+                                         local_x_r, r1 - r0, engine)
+        if y is None:
+            prods = np.einsum("kij,kj->ki", data_rows[klo:khi],
+                              local_x_r[cols[klo:khi]])
+            y = segment_sum(sub_seg, prods, r1 - r0)
+        out[r0:r1] = y
+
+    run_chunks(row_chunk, chunk_ranges(n_owned, threads), threads)
+    return out
 
 
 def tree_reduce_sum(values) -> float:
@@ -400,7 +467,7 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
                          qglobal: np.ndarray,
                          exchange: GhostExchange | None = None,
                          *, recorder=NULL_RECORDER,
-                         executor="seq") -> np.ndarray:
+                         executor="seq", threads: int = 1) -> np.ndarray:
     """First-order residual computed rank by rank on local data.
 
     Each rank evaluates fluxes on its local edge set with purely local
@@ -413,14 +480,19 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
     instance) runs the rank kernels in the worker pool over shared
     memory — bitwise-identical to the sequential path; per-rank spans
     are then recorded inside the workers (collect the pool to merge).
+    ``threads`` is the intra-rank team size, honoured identically by
+    both executors (the pool forwards it through the shm header), so
+    ``seq(threads=t)`` equals ``proc(threads=t)`` bitwise for any t.
     """
     ncomp = disc.ncomp
+    threads = resolve_threads(threads)
     rec = recorder if recorder is not None else NULL_RECORDER
     pool = _resolve_pool(layout, executor)
     if pool is not None:
         ex = exchange or GhostExchange(layout, ncomp, recorder=rec,
                                        executor="proc")
-        return pool.residual(qglobal, exchange=ex, recorder=rec)
+        return pool.residual(qglobal, exchange=ex, recorder=rec,
+                             threads=threads)
     ex = exchange or GhostExchange(layout, ncomp, recorder=rec)
     local_q = _scatter_local_state(layout, qglobal, ncomp)
     ex.refresh(local_q)
@@ -430,7 +502,8 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
     # lint: loop-ok (rank loop of the SPMD residual, O(nranks))
     for rd in layout.ranks:
         with rec.span("flux", rank=rd.rank) as sp:
-            r_local = rank_residual(disc, rd, local_q[rd.rank], out.dtype)
+            r_local = rank_residual(disc, rd, local_q[rd.rank], out.dtype,
+                                    threads=threads)
             out[rd.owned] = r_local[: rd.n_owned]
         per_rank_s[rd.rank] = sp.elapsed
     rec.record_wait("flux", per_rank_s)
@@ -441,22 +514,26 @@ def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
                        xglobal: np.ndarray,
                        exchange: GhostExchange | None = None,
                        *, recorder=NULL_RECORDER,
-                       executor="seq") -> np.ndarray:
+                       executor="seq", threads: int = 1) -> np.ndarray:
     """y = A x computed rank by rank: each rank holds its owned block
     rows (whose columns reach only owned + ghost vertices) and local x;
     one exchange refreshes the ghosts first.
 
     As in the Krylov solvers, the working precision follows the vector:
     the result and all rank-local arrays take ``xglobal``'s dtype.
-    ``executor`` selects the backend as in :func:`distributed_residual`.
+    ``executor`` selects the backend as in :func:`distributed_residual`;
+    ``threads`` is the intra-rank team size, honoured identically by
+    both executors.
     """
     bs = a.bs
+    threads = resolve_threads(threads)
     rec = recorder if recorder is not None else NULL_RECORDER
     pool = _resolve_pool(layout, executor)
     if pool is not None:
         ex = exchange or GhostExchange(layout, bs, recorder=rec,
                                        executor="proc")
-        return pool.matvec(a, xglobal, exchange=ex, recorder=rec)
+        return pool.matvec(a, xglobal, exchange=ex, recorder=rec,
+                           threads=threads)
     ex = exchange or GhostExchange(layout, bs, recorder=rec)
     local_x = _scatter_local_state(layout, xglobal, bs)
     ex.refresh(local_x)
@@ -470,7 +547,7 @@ def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
             flat, cols, seg = rank_matvec_structs(a, rd)
             y[rd.owned] = rank_matvec(a.data[flat], cols, seg,
                                       local_x[rd.rank], rd.owned.size,
-                                      engine=a.engine)
+                                      engine=a.engine, threads=threads)
         per_rank_s[rd.rank] = sp.elapsed
     rec.record_wait("matvec", per_rank_s)
     return y.ravel()

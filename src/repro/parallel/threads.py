@@ -1,0 +1,96 @@
+"""Intra-rank thread teams — the OpenMP leg of the hybrid executor.
+
+The paper's Table 5 splits each rank's edge loop across the node's
+CPUs with OpenMP threads.  Python's analogue is a pool of native
+threads running chunks of the *same* numpy/compiled kernels: numpy
+releases the GIL inside its C inner loops on large contiguous
+operations, and the cffi C backend releases it for the duration of
+every call, so chunked kernels genuinely overlap on multi-core
+hardware.  On a single core the team still executes (deterministically)
+and simply measures its own overhead — which is exactly what the
+scaling harness wants to observe.
+
+Determinism contract: chunks are fixed contiguous ranges derived only
+from ``(n, threads)``, and every combiner consumes chunk results in
+chunk order, so a threaded kernel's output depends on the thread
+*count*, never on the scheduling order.  ``threads=1`` bypasses the
+team entirely (the callers' single-thread code path is untouched — it
+stays the bitwise oracle).
+
+One executor per team size is kept per process and reused; forked
+children (the ProcPool workers) drop the inherited table and lazily
+build their own teams, since pool threads do not survive ``fork``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["resolve_threads", "chunk_ranges", "run_chunks"]
+
+#: team size -> shared executor (lazily built, reused across calls)
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+
+
+def _drop_inherited_pools() -> None:
+    """After fork, the parent's executor threads do not exist in the
+    child; drop the table so the child builds fresh teams on demand."""
+    _POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_drop_inherited_pools)
+
+
+def resolve_threads(threads: int | None) -> int:
+    """Validate the thread-count knob (None means single-threaded)."""
+    if threads is None:
+        return 1
+    t = int(threads)
+    if t < 1:
+        raise ValueError(f"threads must be >= 1, got {threads!r}")
+    return t
+
+
+def chunk_ranges(n: int, nchunks: int) -> list[tuple[int, int]]:
+    """Balanced contiguous ``[lo, hi)`` ranges covering ``range(n)``.
+
+    At most ``nchunks`` ranges, never empty ones; sizes differ by at
+    most one (the first ``n % nchunks`` chunks are one longer).  The
+    split depends only on ``(n, nchunks)`` — the determinism anchor.
+    """
+    n = int(n)
+    nchunks = max(1, min(int(nchunks), n)) if n > 0 else 0
+    out = []
+    base, extra = divmod(n, nchunks) if nchunks else (0, 0)
+    lo = 0
+    # lint: loop-ok (chunk-boundary construction, O(threads))
+    for c in range(nchunks):
+        hi = lo + base + (1 if c < extra else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def _team(threads: int) -> ThreadPoolExecutor:
+    pool = _POOLS.get(threads)
+    if pool is None:
+        pool = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix=f"repro-team{threads}")
+        _POOLS[threads] = pool
+    return pool
+
+
+def run_chunks(fn, chunks: list[tuple[int, int]], threads: int) -> list:
+    """Run ``fn(lo, hi)`` for every chunk; results in chunk order.
+
+    ``threads<=1`` (or a single chunk) runs inline on the calling
+    thread — no executor, no overhead, identical semantics.  Worker
+    exceptions propagate to the caller (the first failing chunk's).
+    """
+    if threads <= 1 or len(chunks) <= 1:
+        return [fn(lo, hi) for lo, hi in chunks]
+    pool = _team(threads)
+    futures = [pool.submit(fn, lo, hi) for lo, hi in chunks]
+    return [f.result() for f in futures]

@@ -35,7 +35,8 @@ class SubdomainSolver:
               owned: np.ndarray, fill_level: int,
               storage_dtype=np.float64,
               pattern: ILUPattern | None = None,
-              engine: str = "numpy") -> "SubdomainSolver":
+              engine: str = "numpy",
+              threads: int = 1) -> "SubdomainSolver":
         """Extract the overlapped submatrix of ``a`` and factor it.
 
         ``pattern`` is the symbolic ILU(k) pattern from a previous
@@ -48,10 +49,12 @@ class SubdomainSolver:
         sub = a.submatrix(rows)
         if isinstance(a, BSRMatrix):
             factor = ilu_bsr(sub, fill_level, pattern=pattern,
-                             storage_dtype=storage_dtype, engine=engine)
+                             storage_dtype=storage_dtype, engine=engine,
+                             threads=threads)
         else:
             factor = ilu_csr(sub, fill_level, pattern=pattern,
-                             storage_dtype=storage_dtype, engine=engine)
+                             storage_dtype=storage_dtype, engine=engine,
+                             threads=threads)
         return cls(rows=rows, owned=np.asarray(owned, dtype=bool),
                    factor=factor, fill_level=fill_level)
 
@@ -62,7 +65,8 @@ class SubdomainSolver:
         return self.build(a, self.rows, self.owned, self.fill_level,
                           storage_dtype=self.factor.l_data.dtype,
                           pattern=self.factor.pattern,
-                          engine=self.factor.engine)
+                          engine=self.factor.engine,
+                          threads=self.factor.threads)
 
     @property
     def num_rows(self) -> int:

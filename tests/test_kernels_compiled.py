@@ -19,6 +19,9 @@ the equivalence assertions then hold trivially and the dedicated
 degradation tests pin that behaviour explicitly.
 """
 
+import json
+import warnings
+
 import numpy as np
 import pytest
 
@@ -89,13 +92,83 @@ class TestCapability:
         try:
             for name in capability.available_backends():
                 capability.mark_unavailable(name)
-            assert capability.resolve_engine("compiled") == "numpy"
+            with warnings.catch_warnings():
+                # Marking a working backend broken legitimately warns.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                assert capability.resolve_engine("compiled") == "numpy"
         finally:
             capability.invalidate()
 
     def test_solver_config_validates_engine(self):
         with pytest.raises(ValueError, match="engine"):
             SolverConfig(engine="fortran")
+
+
+@pytest.fixture
+def broken_c_build(monkeypatch):
+    """Numba absent, C toolchain present but the build fails."""
+    from repro.kernels import cbackend
+    capability.invalidate()
+    monkeypatch.setattr(capability, "probe_numba", lambda: False)
+    monkeypatch.setattr(cbackend, "_SOURCE", "#error deliberately broken\n")
+    monkeypatch.setattr(kernels, "_BACKENDS", {})
+    yield
+    capability.invalidate()
+
+
+class TestQuarantine:
+    """Silent degradation is gone: broken backends carry their reason."""
+
+    def test_broken_c_build_quarantined_and_warns(self, broken_c_build):
+        if not capability.probe_c():
+            pytest.skip("no C toolchain to break")
+        with pytest.warns(RuntimeWarning, match="fell back to the numpy"):
+            assert kernels.backend_for("compiled") is None
+        rep = capability.capability_report()
+        assert rep["resolved"] == "numpy"
+        assert "c" in rep["broken"]
+        q = rep["quarantine"]["c"]
+        assert q["stage"] == "build"
+        assert q["exc_type"] not in (None, "ModuleNotFoundError",
+                                     "FileNotFoundError")
+        assert q["message"]
+        assert q["traceback_tail"]
+
+    def test_fallback_warns_only_once(self, broken_c_build):
+        if not capability.probe_c():
+            pytest.skip("no C toolchain to break")
+        with pytest.warns(RuntimeWarning):
+            kernels.backend_for("compiled")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert capability.resolve_engine("compiled") == "numpy"
+
+    def test_bare_machine_stays_silent(self, bare_machine):
+        # Not-installed is the documented contract, not a failure.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert capability.resolve_engine("compiled") == "numpy"
+        assert capability.capability_report()["broken"] == []
+
+    def test_missing_compiler_recorded_as_benign(self, monkeypatch):
+        capability.invalidate()
+        monkeypatch.setattr(capability, "probe_numba", lambda: False)
+        monkeypatch.setattr(capability.shutil, "which", lambda cc: None)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert capability.resolve_engine("compiled") == "numpy"
+            q = capability.capability_report()["quarantine"]["c"]
+            assert q["stage"] == "probe"
+            assert q["exc_type"] == "FileNotFoundError"
+        finally:
+            capability.invalidate()
+
+    def test_cli_prints_json_report(self, capsys):
+        assert capability.main() == 0
+        rep = json.loads(capsys.readouterr().out)
+        assert set(rep) >= {"disabled", "available", "resolved",
+                            "broken", "quarantine"}
 
 
 class TestDispatchGuards:

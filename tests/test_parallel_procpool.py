@@ -12,6 +12,11 @@ shared-memory cleanup.
 """
 
 import multiprocessing as mp
+import os
+import pathlib
+import signal
+import subprocess
+import sys
 import time
 from multiprocessing import shared_memory
 
@@ -28,6 +33,8 @@ from repro.parallel import (GhostExchange, ProcPool, ProcPoolError,
                             distributed_residual, tree_reduce_sum)
 from repro.partition import kway_partition
 from repro.telemetry import TraceRecorder
+
+_REPO_ROOT = str(pathlib.Path(__file__).resolve().parent.parent)
 
 
 @pytest.fixture(scope="module")
@@ -304,3 +311,165 @@ class TestDriverIntegration:
         for phase in ("matvec", "ghost_exchange"):
             assert rec.phase_seconds(phase) > 0.0
             assert rec.ranks(phase) == [0, 1, 2, 3]
+
+
+class TestEdgeCases:
+    """Worker/thread counts at and past the host's limits must either
+    work (oversubscription: the OS time-slices) or raise a clear
+    ProcPoolError — never silently misbehave."""
+
+    def test_nworkers_zero_raises(self, setup):
+        prob, _, layout, q = setup
+        with pytest.raises(ProcPoolError, match="nworkers"):
+            ProcPool(layout, prob.disc, nworkers=0)
+
+    def test_threads_zero_raises(self, setup):
+        prob, _, layout, q = setup
+        with pytest.raises(ProcPoolError, match="threads"):
+            ProcPool(layout, prob.disc, nworkers=2, threads=0)
+
+    def test_nworkers_beyond_cpu_count(self, setup):
+        """Oversubscription past os.cpu_count() works and stays exact."""
+        prob, _, layout, q = setup
+        n = min((os.cpu_count() or 1) + 2, layout.nranks)
+        with ProcPool(layout, prob.disc, nworkers=n) as pool:
+            assert pool.nworkers == n
+            f = pool.residual(q)
+        assert np.array_equal(
+            f, distributed_residual(prob.disc, layout, q, executor="seq"))
+
+    def test_nworkers_beyond_nranks_clamps(self, setup):
+        """More workers than ranks would idle; the pool clamps (the
+        documented behaviour) and every worker owns >= 1 rank."""
+        prob, _, layout, q = setup
+        with ProcPool(layout, prob.disc,
+                      nworkers=layout.nranks + 5) as pool:
+            assert pool.nworkers == layout.nranks
+            assert all(len(r) >= 1 for r in pool._worker_ranks)
+            f = pool.residual(q)
+        assert np.array_equal(
+            f, distributed_residual(prob.disc, layout, q, executor="seq"))
+
+    def test_threads_times_workers_beyond_cpu_count(self, setup):
+        """threads x workers > cpu_count oversubscribes but stays
+        bitwise-equal to the sequential leg at the same thread count."""
+        prob, _, layout, q = setup
+        a = prob.disc.assemble_jacobian(q)
+        x = np.random.default_rng(9).standard_normal(q.size)
+        with ProcPool(layout, prob.disc, nworkers=3, threads=4):
+            fp = distributed_residual(prob.disc, layout, q,
+                                      executor="proc", threads=4)
+            yp = distributed_matvec(a, layout, x,
+                                    executor="proc", threads=4)
+        fs = distributed_residual(prob.disc, layout, q,
+                                  executor="seq", threads=4)
+        ys = distributed_matvec(a, layout, x, executor="seq", threads=4)
+        assert np.array_equal(fp, fs)
+        assert np.array_equal(yp, ys)
+
+
+_KILL_SCRIPT = r"""
+import sys
+import numpy as np
+from repro.euler import wing_problem
+from repro.parallel import ProcPool, SPMDLayout
+from repro.partition import kway_partition
+
+mode = sys.argv[1]
+prob = wing_problem(9, 7, 5)
+labels = kway_partition(prob.mesh.vertex_graph(), 4, seed=0)
+layout = SPMDLayout.build(prob.mesh.edges, labels)
+pool = ProcPool(layout, prob.disc, nworkers=2)
+q = prob.initial.flat()
+jac = prob.disc.shifted_jacobian(q, cfl=40.0)
+pool.matvec(jac, q)                       # loads the matrix segment
+print("SEG", pool.shm_name, pool.mat_shm_name, flush=True)
+if mode == "raise":
+    pool.residual(q)
+    raise RuntimeError("coordinator blew up mid-solve")
+elif mode == "spin":
+    print("READY", flush=True)
+    while True:
+        pool.residual(q)
+"""
+
+
+class TestLifecycleCrashPaths:
+    """close() is the happy path; the finalize guard must also unlink
+    segments when the coordinator dies mid-solve (exception, SIGINT)."""
+
+    @staticmethod
+    def _segments_of(proc_stdout: str) -> list[str]:
+        for line in proc_stdout.splitlines():
+            if line.startswith("SEG "):
+                return [s for s in line.split()[1:] if s != "None"]
+        raise AssertionError(f"no SEG line in output:\n{proc_stdout}")
+
+    def test_coordinator_exception_leaves_no_segments(self, tmp_path):
+        script = tmp_path / "crash.py"
+        script.write_text(_KILL_SCRIPT)
+        proc = subprocess.run(
+            [sys.executable, str(script), "raise"],
+            capture_output=True, text=True, timeout=120,
+            env={**os.environ,
+                 "PYTHONPATH": os.path.join(_REPO_ROOT, "src")},
+            cwd=_REPO_ROOT)
+        assert proc.returncode != 0
+        assert "coordinator blew up" in proc.stderr
+        for name in self._segments_of(proc.stdout):
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_sigint_mid_solve_leaves_no_segments(self, tmp_path):
+        script = tmp_path / "spin.py"
+        script.write_text(_KILL_SCRIPT)
+        proc = subprocess.Popen(
+            [sys.executable, str(script), "spin"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env={**os.environ,
+                 "PYTHONPATH": os.path.join(_REPO_ROOT, "src")},
+            cwd=_REPO_ROOT)
+        try:
+            lines = []
+            for _ in range(10):
+                line = proc.stdout.readline()
+                lines.append(line)
+                if line.startswith("READY"):
+                    break
+            assert any(ln.startswith("READY") for ln in lines)
+            time.sleep(0.2)               # land the signal mid-solve
+            proc.send_signal(signal.SIGINT)
+            proc.wait(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode != 0
+        for name in self._segments_of("".join(lines)):
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_finalizer_idempotent_after_close(self, setup):
+        prob, _, layout, q = setup
+        pool = ProcPool(layout, prob.disc, nworkers=2)
+        name = pool.shm_name
+        pool.close()
+        pool.close()                       # idempotent
+        pool._finalizer()                  # already spent: no-op
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_matrix_segments_tracked_for_cleanup(self, setup):
+        """Every live segment (arena + current matrix) is registered
+        with the crash-path guard; replaced matrices are deregistered."""
+        prob, _, layout, q = setup
+        a = prob.disc.assemble_jacobian(q)
+        x = np.random.default_rng(10).standard_normal(q.size)
+        with ProcPool(layout, prob.disc, nworkers=2) as pool:
+            assert len(pool._cleanup_state["segs"]) == 1
+            pool.matvec(a, x)
+            assert len(pool._cleanup_state["segs"]) == 2
+            a2 = a.copy()
+            a2.data *= 2.0
+            pool.matvec(a2, x)             # rebroadcast replaces segment
+            assert len(pool._cleanup_state["segs"]) == 2

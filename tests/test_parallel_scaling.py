@@ -1,0 +1,133 @@
+"""The ranks x threads scaling harness: fits, schema, smoke study.
+
+The Amdahl fit is exercised against synthetic data where the answer is
+known in closed form; the study itself runs once in smoke mode (tiny
+meshes, one repeat) and the resulting report is checked structurally —
+every grid point measured, phases decomposed, weak series present,
+JSON round-trippable.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.parallel.scaling import (ScalingResult, amdahl_fit,
+                                    run_scaling)
+
+
+def amdahl_times(t1, s, procs):
+    return [t1 * (s + (1.0 - s) / p) for p in procs]
+
+
+class TestAmdahlFit:
+    @pytest.mark.parametrize("s", [0.0, 0.1, 0.5, 0.9, 1.0])
+    def test_recovers_exact_serial_fraction(self, s):
+        procs = [1, 2, 4, 8]
+        fit = amdahl_fit(procs, amdahl_times(2.0, s, procs))
+        assert fit["serial_fraction"] == pytest.approx(s, abs=1e-12)
+        assert fit["parallel_fraction"] == pytest.approx(1.0 - s,
+                                                         abs=1e-12)
+        assert fit["t1_s"] == pytest.approx(2.0)
+        assert fit["max_rel_residual"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_noisy_data_reports_residual(self):
+        procs = [1, 2, 4]
+        times = amdahl_times(1.0, 0.3, procs)
+        times[2] *= 1.25
+        fit = amdahl_fit(procs, times)
+        assert 0.0 < fit["serial_fraction"] < 1.0
+        assert fit["max_rel_residual"] > 0.0
+
+    def test_slowdown_clamps_to_one(self):
+        # Times that *grow* with p fit as s > 1; the report clamps.
+        fit = amdahl_fit([1, 2, 4], [1.0, 1.6, 2.9])
+        assert fit["serial_fraction"] == 1.0
+
+    def test_points_carry_model_and_measured(self):
+        procs = [1, 2]
+        fit = amdahl_fit(procs, amdahl_times(1.0, 0.5, procs))
+        assert [p["p"] for p in fit["points"]] == procs
+        for p in fit["points"]:
+            assert p["measured_s"] == pytest.approx(p["model_s"])
+
+    def test_no_unit_point_uses_max_as_t1(self):
+        fit = amdahl_fit([2, 4], [0.6, 0.35])
+        assert fit["t1_s"] == pytest.approx(0.6)
+
+
+class TestSmokeStudy:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("scaling") / "BENCH_scaling.json"
+        res = run_scaling(smoke=True, out=str(out), log=lambda m: None)
+        return res, out
+
+    def test_strong_grid_fully_measured(self, result):
+        res, _ = result
+        assert len(res.cases) >= 2
+        for case in res.cases:
+            assert case.baseline_s > 0.0
+            workers = {g.workers for g in case.grid}
+            threads = {g.threads for g in case.grid}
+            assert len(case.grid) == len(workers) * len(threads)
+            best = case.best()
+            assert best.speedup == max(g.speedup for g in case.grid)
+
+    def test_phase_decomposition_present(self, result):
+        res, _ = result
+        g = res.cases[0].grid[0]
+        assert "matvec" in g.phases
+        for split in g.phases.values():
+            # Compute and wait are separate accumulators (the wait
+            # fraction is wait / (compute + wait)), both nonnegative.
+            assert split["total_s"] >= 0.0
+            assert split["wait_s"] >= 0.0
+            assert 0.0 <= split["wait_fraction"] <= 1.0
+            assert split["calls"] > 0
+
+    def test_amdahl_fits_attached(self, result):
+        res, _ = result
+        for case in res.cases:
+            assert "hybrid" in case.amdahl
+            assert any(k.startswith("threads=") for k in case.amdahl)
+
+    def test_weak_series(self, result):
+        res, _ = result
+        assert res.weak
+        unit = [w for w in res.weak if w.workers == 1]
+        assert all(w.efficiency == pytest.approx(1.0) for w in unit)
+        assert all(w.efficiency > 0.0 for w in res.weak)
+
+    def test_report_roundtrips_as_json(self, result):
+        res, out = result
+        with open(out, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["schema_version"] == 1
+        assert doc["meta"]["smoke"] is True
+        assert doc["meta"]["cpu_count"] >= 1
+        assert len(doc["cases"]) == len(res.cases)
+        assert doc["weak_scaling"]
+        speedups = [g["speedup"] for c in doc["cases"] for g in c["grid"]]
+        assert all(np.isfinite(speedups))
+
+    def test_table_renders(self, result):
+        res, _ = result
+        text = res.table()
+        assert "strong scaling" in text
+        assert "weak scaling" in text
+        assert "amdahl" in text
+
+    def test_hybrid_best_lookup(self, result):
+        res, _ = result
+        label = res.cases[0].label
+        assert res.hybrid_best(label) is res.cases[0].best()
+        assert res.hybrid_best("nope") is None
+
+    def test_result_reconstructable_from_dict(self, result):
+        res, _ = result
+        doc = res.to_dict()
+        clone = ScalingResult(meta=doc["meta"], cases=[], weak=[])
+        assert clone.meta["baseline"].startswith("seq executor")

@@ -1,0 +1,202 @@
+"""Intra-rank thread teams: chunking, determinism, and the hybrid knob.
+
+The contract under test (see :mod:`repro.parallel.threads`): output
+depends on the *thread count* only, never on scheduling — chunks are
+fixed contiguous ranges and combiners consume results in chunk order.
+Row-disjoint kernels (SpMV, trisolve, rank matvec) are bitwise
+identical for any thread count; the flux scatter re-associates
+per-vertex sums at chunk boundaries and is normwise-equivalent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NKSSolver, PreconditionerConfig, SolverConfig
+from repro.euler import wing_problem
+from repro.parallel import (ProcPool, SPMDLayout, distributed_matvec,
+                            distributed_residual)
+from repro.parallel.threads import chunk_ranges, resolve_threads, run_chunks
+from repro.partition import kway_partition
+from repro.precond.asm import ASMConfig
+from repro.sparse.ilu import ilu_bsr, ilu_csr
+
+
+@pytest.fixture(scope="module")
+def wing():
+    prob = wing_problem(9, 7, 5)
+    labels = kway_partition(prob.mesh.vertex_graph(), 4, seed=0)
+    layout = SPMDLayout.build(prob.mesh.edges, labels)
+    rng = np.random.default_rng(7)
+    q = prob.initial.flat() + 0.05 * rng.standard_normal(
+        prob.disc.num_unknowns)
+    jac = prob.disc.shifted_jacobian(q, cfl=40.0)
+    return prob, layout, q, jac
+
+
+class TestChunkRanges:
+    def test_covers_contiguously(self):
+        for n in (0, 1, 5, 17, 100):
+            for k in (1, 2, 3, 7, 200):
+                chunks = chunk_ranges(n, k)
+                flat = [i for lo, hi in chunks for i in range(lo, hi)]
+                assert flat == list(range(n))
+
+    def test_balanced_and_never_empty(self):
+        chunks = chunk_ranges(10, 4)
+        sizes = [hi - lo for lo, hi in chunks]
+        assert sizes == [3, 3, 2, 2]
+        assert all(s > 0 for lo_hi in [chunk_ranges(3, 8)]
+                   for s in [hi - lo for lo, hi in lo_hi])
+
+    def test_at_most_nchunks(self):
+        assert len(chunk_ranges(3, 8)) == 3
+        assert len(chunk_ranges(0, 4)) == 0
+
+    def test_resolve_threads(self):
+        assert resolve_threads(None) == 1
+        assert resolve_threads(3) == 3
+        with pytest.raises(ValueError):
+            resolve_threads(0)
+
+
+class TestRunChunks:
+    def test_results_in_chunk_order(self):
+        chunks = chunk_ranges(20, 4)
+        got = run_chunks(lambda lo, hi: (lo, hi), chunks, 4)
+        assert got == chunks
+
+    def test_single_thread_is_inline(self):
+        calls = []
+        run_chunks(lambda lo, hi: calls.append((lo, hi)),
+                   chunk_ranges(10, 1), 1)
+        assert calls == [(0, 10)]
+
+    def test_exceptions_propagate(self):
+        def boom(lo, hi):
+            raise ValueError("chunk failed")
+        with pytest.raises(ValueError, match="chunk failed"):
+            run_chunks(boom, chunk_ranges(8, 2), 2)
+
+
+class TestThreadedKernelEquivalence:
+    def test_residual_normwise(self, wing):
+        prob, layout, q, _ = wing
+        f1 = distributed_residual(prob.disc, layout, q, threads=1)
+        for t in (2, 3):
+            ft = distributed_residual(prob.disc, layout, q, threads=t)
+            # Chunk-boundary re-association only: normwise tiny.
+            np.testing.assert_allclose(ft, f1, rtol=0, atol=1e-12)
+
+    def test_single_thread_is_the_oracle(self, wing):
+        prob, layout, q, _ = wing
+        f_default = distributed_residual(prob.disc, layout, q)
+        f_t1 = distributed_residual(prob.disc, layout, q, threads=1)
+        assert np.array_equal(f_default, f_t1)
+
+    def test_matvec_bitwise(self, wing):
+        prob, layout, q, jac = wing
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(jac.shape[1])
+        y1 = distributed_matvec(jac, layout, x, threads=1)
+        for t in (2, 5):
+            yt = distributed_matvec(jac, layout, x, threads=t)
+            assert np.array_equal(yt, y1)
+
+    def test_bsr_csr_matvec_bitwise(self, wing):
+        _, _, q, jac = wing
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(jac.shape[1])
+        y1 = jac.matvec(x)
+        jt = jac.copy()
+        jt.threads = 3
+        assert np.array_equal(jt.matvec(x), y1)
+        csr = jac.to_csr()
+        ct = csr.copy()
+        ct.threads = 3
+        assert np.array_equal(ct.matvec(x), csr.matvec(x))
+
+    def test_threads_survive_matrix_derivations(self, wing):
+        _, _, _, jac = wing
+        jt = jac.copy()
+        jt.threads = 2
+        assert jt.to_csr().threads == 2
+        assert jt.astype(np.float64).threads == 2
+        sub = jt.submatrix(np.arange(min(8, jt.nbrows), dtype=np.int64))
+        assert sub.threads == 2
+
+    def test_trisolve_bitwise(self, wing):
+        _, _, q, jac = wing
+        rng = np.random.default_rng(5)
+        b = rng.standard_normal(jac.shape[0])
+        f1 = ilu_bsr(jac, 1)
+        f3 = ilu_bsr(jac, 1, threads=3)
+        assert np.array_equal(f3.solve(b), f1.solve(b))
+        csr = jac.to_csr()
+        g1 = ilu_csr(csr, 1)
+        g3 = ilu_csr(csr, 1, threads=3)
+        assert np.array_equal(g3.solve(b), g1.solve(b))
+
+    def test_f32_dtype_preserved(self, wing):
+        prob, layout, q, _ = wing
+        q32 = q.astype(np.float32)
+        f = distributed_residual(prob.disc, layout, q32, threads=2)
+        assert f.dtype == np.float32
+
+
+class TestSeqProcThreadParity:
+    def test_seq_equals_proc_for_any_thread_count(self, wing):
+        prob, layout, q, jac = wing
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(jac.shape[1])
+        with ProcPool(layout, prob.disc, nworkers=2, threads=2):
+            for t in (1, 2, 3):
+                fs = distributed_residual(prob.disc, layout, q,
+                                          executor="seq", threads=t)
+                fp = distributed_residual(prob.disc, layout, q,
+                                          executor="proc", threads=t)
+                assert np.array_equal(fs, fp)
+                ys = distributed_matvec(jac, layout, x,
+                                        executor="seq", threads=t)
+                yp = distributed_matvec(jac, layout, x,
+                                        executor="proc", threads=t)
+                assert np.array_equal(ys, yp)
+
+    def test_pool_default_threads_used(self, wing):
+        prob, layout, q, _ = wing
+        with ProcPool(layout, prob.disc, nworkers=2, threads=3) as pool:
+            # threads=None -> the pool default (3); must equal seq(3).
+            fp = pool.residual(q)
+            fs = distributed_residual(prob.disc, layout, q,
+                                      executor="seq", threads=3)
+            assert np.array_equal(fp, fs)
+
+
+class TestConfigPlumbing:
+    def test_solver_config_validates_threads(self):
+        with pytest.raises(ValueError, match="threads"):
+            SolverConfig(threads=0)
+
+    def test_asm_config_validates_threads(self):
+        with pytest.raises(ValueError, match="threads"):
+            ASMConfig(threads=0)
+
+    def test_driver_solves_with_threads(self):
+        prob = wing_problem(8, 6, 5)
+        q0 = prob.initial.flat()
+
+        def run(threads):
+            cfg = SolverConfig(max_steps=3,
+                               precond=PreconditionerConfig(nparts=4),
+                               executor="seq", threads=threads)
+            return NKSSolver(prob.disc, cfg).solve(q0)
+
+        r1 = run(1)
+        r2 = run(2)
+        h1 = np.array([s.fnorm for s in r1.steps])
+        h2 = np.array([s.fnorm for s in r2.steps])
+        # Threaded flux re-associates sums, so trajectories are
+        # normwise-equal, not bitwise.
+        assert h1.size == h2.size
+        np.testing.assert_allclose(h2, h1, rtol=1e-6)
