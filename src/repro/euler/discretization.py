@@ -18,7 +18,8 @@ import numpy as np
 
 from repro import kernels as _kernels
 from repro.euler.boundary import BoundaryCondition
-from repro.euler.fluxes import rusanov_flux, rusanov_flux_jacobians
+from repro.euler.fluxes import (rusanov_flux, rusanov_flux_jacobians,
+                                rusanov_model)
 from repro.euler.reconstruction import (Limiter, green_gauss_gradients,
                                         reconstruct_edge_states)
 from repro.mesh.dualmesh import DualMetrics, compute_dual_metrics
@@ -96,17 +97,35 @@ class EdgeFVDiscretization:
                                              self.limiter)
         else:
             ql, qr = q[e0], q[e1]
-        f = self._numerical_flux(ql, qr, s)
         n = self.mesh.num_vertices
-        scat = (_kernels.edge_scatter2(e0, e1, f, f, n, self.engine)
-                if self.engine != "numpy" else None)
-        if scat is not None:
-            r = scat[0] - scat[1]
-        else:
-            r = (segment_sum(e0, f, n,
-                             self.mesh.edge_scatter_index(0, self.ncomp))
-                 - segment_sum(e1, f, n,
-                               self.mesh.edge_scatter_index(1, self.ncomp)))
+        r = None
+        if self.engine != "numpy":
+            model = rusanov_model(self)
+            if model is not None:
+                # End-to-end compiled interior leg: Rusanov arithmetic
+                # and the scatter run in one pass over the edges (the
+                # previous compiled leg only fused the scatter, leaving
+                # the flux math in numpy).  The numpy path below stays
+                # the oracle; equivalence is normwise (the compiled
+                # kernel's sequential dots re-associate the einsum
+                # reductions).  Exact-type gated by rusanov_model, so
+                # overridden fluxes (Roe) never reach it.
+                fused = _kernels.rusanov_scatter(e0, e1, ql, qr, s, n,
+                                                 model[0], model[1],
+                                                 self.engine)
+                if fused is not None:
+                    r = fused[0] - fused[1]
+        if r is None:
+            f = self._numerical_flux(ql, qr, s)
+            scat = (_kernels.edge_scatter2(e0, e1, f, f, n, self.engine)
+                    if self.engine != "numpy" else None)
+            if scat is not None:
+                r = scat[0] - scat[1]
+            else:
+                r = (segment_sum(e0, f, n,
+                                 self.mesh.edge_scatter_index(0, self.ncomp))
+                     - segment_sum(e1, f, n,
+                                   self.mesh.edge_scatter_index(1, self.ncomp)))
         self._add_boundary_residual(q, r)
         return r.ravel()
 

@@ -20,7 +20,7 @@ __all__ = [
     "incompressible_wavespeed",
     "compressible_flux", "compressible_flux_jacobian",
     "compressible_wavespeed",
-    "rusanov_flux", "rusanov_flux_jacobians",
+    "rusanov_flux", "rusanov_flux_jacobians", "rusanov_model",
 ]
 
 # ----------------------------------------------------------------------
@@ -145,6 +145,28 @@ def rusanov_flux(ql: np.ndarray, qr: np.ndarray, s: np.ndarray,
     lam = np.maximum(wavespeed(ql, s, **kw), wavespeed(qr, s, **kw))
     return 0.5 * (fl + fr) - 0.5 * lam[:, None] * (np.atleast_2d(qr)
                                                    - np.atleast_2d(ql))
+
+
+def rusanov_model(disc) -> tuple[str, float] | None:
+    """``(model, param)`` for the end-to-end compiled Rusanov scatter
+    kernel (``repro.kernels.rusanov_scatter``), or ``None`` when the
+    discretisation's interior flux is not one the compiled kernel
+    mirrors.
+
+    The checks are deliberately exact-type: a subclass may override
+    ``_flux``/``_numerical_flux`` (as ``CompressibleEuler`` does for
+    Roe), and the compiled arithmetic must only replace the flux it was
+    written against.  Imported lazily to keep this module free of the
+    discretisation dependency cycle.
+    """
+    from repro.euler.compressible import CompressibleEuler
+    from repro.euler.incompressible import IncompressibleEuler
+
+    if type(disc) is IncompressibleEuler:
+        return "incompressible", float(disc.beta)
+    if type(disc) is CompressibleEuler and disc.flux_scheme == "rusanov":
+        return "compressible", float(disc.gamma)
+    return None
 
 
 def rusanov_flux_jacobians(ql: np.ndarray, qr: np.ndarray, s: np.ndarray,

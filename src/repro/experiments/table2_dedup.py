@@ -1,0 +1,250 @@
+"""Table 2 round 2: BSR block dedup + per-phase mixed precision.
+
+The paper's Table 2 halves the preconditioner value traffic by storing
+the ILU factors in float32.  This experiment takes that lever two
+steps further on the Jacobian/preconditioner storage itself:
+
+1. **Repeated-block dedup** — content-hash the bs x bs blocks into a
+   unique pool and stream one int32 index per block entry instead of
+   the block (:mod:`repro.sparse.dedup`).  On the graded, jittered
+   wing nearly every dual-face normal is unique, so the honest dedup
+   ratio is ~1.0 — the mechanism is validated (bitwise at fp64) but
+   buys no traffic there.  On a *structured* mesh (an unjittered box,
+   the ``structured`` companion row set) the repetition is real and
+   the ratio climbs with size, which is precisely the premise the
+   technique was published under.
+2. **Adaptive per-phase precision** (:class:`PrecisionPolicy`) —
+   fp64 outer Newton throughout, fp32 Krylov/preconditioner storage,
+   optionally an fp16 *storage-only* unique-block pool.  These tiers
+   cut the value traffic 2-4x regardless of the dedup ratio, and the
+   acceptance gate is that Newton convergence is unchanged at every
+   tier.
+
+The prediction loop is closed both ways: compulsory-traffic bytes per
+SpMV from :func:`repro.perfmodel.spmv_model.spmv_dedup_traffic_bytes`
+and *simulated* bytes from the exact cache model driven by the
+deduplicated address trace
+(:func:`repro.memory.trace.spmv_dedup_bsr_trace`), next to measured
+kernel times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.euler.problems import duct_problem, wing_problem
+from repro.experiments.common import ExperimentResult, solve_with_partition
+from repro.memory.cache import simulate_trace
+from repro.memory.trace import spmv_bsr_trace, spmv_dedup_bsr_trace
+from repro.partition.kway import kway_partition
+from repro.perf import compare_kernels
+from repro.perf.regress import SCHEMA_VERSION, atomic_write_json
+from repro.perfmodel.machines import ORIGIN2000_R10K
+from repro.perfmodel.spmv_model import (spmv_dedup_traffic_bytes,
+                                        spmv_traffic_bytes)
+from repro.precond.asm import AdditiveSchwarz, ASMConfig
+from repro.solvers import gmres
+from repro.solvers.krylov_base import OperatorFromMatrix
+from repro.sparse.dedup import dedup_bsr
+from repro.sparse.ilu import ilu_bsr, ilu_symbolic
+from repro.sparse.precision import PrecisionPolicy
+
+__all__ = ["run_table2_dedup", "TIERS"]
+
+#: The four storage tiers the acceptance criterion names.
+TIERS = ("baseline", "dedup", "dedup+fp32", "dedup+fp16-pool")
+
+GMRES_M = 30
+FILL = 1
+OVERLAP = 1
+NPARTS = 8
+
+
+def _tier_knobs(tier: str) -> tuple[bool, str]:
+    """(dedup, policy-name) for a tier label."""
+    return {
+        "baseline": (False, "fp64"),
+        "dedup": (True, "fp64"),
+        "dedup+fp32": (True, "fp32"),
+        "dedup+fp16-pool": (True, "fp16-pool"),
+    }[tier]
+
+
+def _predicted_bytes(jac, dedup_mat, pool_dtype) -> tuple[int, int]:
+    """(model bytes, simulated bytes) of one SpMV at this tier.
+
+    The model is the compulsory-traffic count; the simulation drives
+    the exact cache model (the paper's scaled R10000 L2) over the
+    tier's actual address stream, so repeated pool blocks and the
+    extra int32 index stream are priced rather than assumed.
+    """
+    nnz = jac.nnzb * jac.bs * jac.bs
+    cache = ORIGIN2000_R10K.scaled_caches(
+        22677 / max(jac.nbrows, 1)).l2
+    if dedup_mat is None:
+        model = spmv_traffic_bytes(jac.shape[0], nnz,
+                                   block_size=jac.bs).total
+        trace = spmv_bsr_trace(jac)
+    else:
+        d = dedup_mat.astype_pool(pool_dtype)
+        model = spmv_dedup_traffic_bytes(
+            jac.shape[0], nnz, d.nuniq, block_size=jac.bs,
+            pool_value_bytes=np.dtype(pool_dtype).itemsize).total
+        trace = spmv_dedup_bsr_trace(d)
+    sim = simulate_trace(trace, cache, engine="fast")
+    return int(model), int(sim.misses * cache.line_bytes)
+
+
+def _measure_tier(tier: str, prob, jac, repeats: int) -> dict:
+    """Kernel-level medians for one tier on the given Jacobian."""
+    policy = PrecisionPolicy.named(_tier_knobs(tier)[1])
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(jac.shape[1])
+    b = rng.standard_normal(jac.shape[0])
+    pat = ilu_symbolic(jac.indptr, jac.indices, FILL)
+    factor = ilu_bsr(jac, pattern=pat)
+    mesh = prob.mesh
+    labels = kway_partition(mesh.vertex_graph(), NPARTS, seed=0)
+    pc_ref = AdditiveSchwarz(labels,
+                             ASMConfig(overlap=OVERLAP, fill_level=FILL),
+                             graph=mesh.vertex_graph()).setup(jac)
+    op = OperatorFromMatrix(jac)
+
+    def cycle(pc, rhs):
+        return gmres(op, rhs, M=pc, rtol=0.0, restart=GMRES_M,
+                     maxiter=GMRES_M)
+
+    entry: dict = {"tier": tier}
+    if tier == "baseline":
+        entry["dedup_ratio"] = 1.0
+        entry["pool_dtype"] = "float64"
+        model, sim = _predicted_bytes(jac, None, np.float64)
+        # Single-timed legs: the baseline is its own reference.
+        from repro.perf import time_kernel
+        entry["spmv"] = time_kernel("spmv", lambda: jac @ x,
+                                    repeats=repeats).as_dict()
+        entry["trisolve"] = time_kernel("trisolve",
+                                        lambda: factor.solve(b),
+                                        repeats=repeats).as_dict()
+        entry["gmres30_cycle"] = time_kernel(
+            "gmres30_cycle", lambda: cycle(pc_ref, b),
+            repeats=repeats).as_dict()
+    else:
+        pool_dtype = policy.effective_pool_dtype
+        d = dedup_bsr(jac, pool_dtype=pool_dtype)
+        df = factor.dedup_storage(pool_dtype)
+        entry["dedup_ratio"] = round(d.dedup_ratio, 4)
+        entry["factor_dedup_ratio"] = round(df.dedup_ratio, 4)
+        entry["pool_dtype"] = str(np.dtype(pool_dtype))
+        model, sim = _predicted_bytes(jac, dedup_bsr(jac), pool_dtype)
+        rhs = (b if policy.krylov_dtype == np.float64
+               else b.astype(policy.krylov_dtype))
+        pc_tier = AdditiveSchwarz(
+            labels,
+            ASMConfig(overlap=OVERLAP, fill_level=FILL,
+                      storage_dtype=policy.precond_dtype, dedup=True,
+                      pool_dtype=policy.pool_dtype),
+            graph=mesh.vertex_graph()).setup(jac)
+        entry["spmv"] = compare_kernels("spmv", lambda: jac @ x,
+                                        lambda: d @ x, repeats=repeats)
+        entry["trisolve"] = compare_kernels(
+            "trisolve", lambda: factor.solve(b), lambda: df.solve(b),
+            repeats=repeats)
+        entry["gmres30_cycle"] = compare_kernels(
+            "gmres30_cycle", lambda: cycle(pc_ref, b),
+            lambda: cycle(pc_tier, rhs), repeats=repeats)
+    entry["predicted_bytes_per_spmv_model"] = model
+    entry["predicted_bytes_per_spmv_sim"] = sim
+    return entry
+
+
+def run_table2_dedup(*, smoke: bool = False, max_steps: int | None = None,
+                     repeats: int = 3, seed: int = 0,
+                     out: str | None = None
+                     ) -> tuple[ExperimentResult, dict]:
+    """Baseline vs dedup vs dedup+fp32 vs dedup+fp16-pool.
+
+    Full size runs the 22,680-vertex wing (the acceptance mesh);
+    ``smoke=True`` shrinks to the 385-vertex wing for CI.  Returns the
+    printable result plus the JSON document (written to ``out`` when
+    given).
+    """
+    if smoke:
+        prob = wing_problem(11, 7, 5, seed=seed)
+        steps = 6 if max_steps is None else max_steps
+    else:
+        prob = wing_problem(42, 27, 20, seed=seed)
+        steps = 8 if max_steps is None else max_steps
+    q = prob.initial.flat()
+    jac = prob.disc.shifted_jacobian(q, 10.0)
+
+    result = ExperimentResult(
+        name=f"Table 2 round 2: dedup + mixed precision ({prob.name})",
+        headers=["Tier", "Dedup ratio", "Pool dtype",
+                 "SpMV speedup", "Trisolve speedup", "GMRES30 speedup",
+                 "Pred. B/SpMV (model)", "Pred. B/SpMV (sim)",
+                 "Newton steps", "Linear its", "Final reduction"],
+    )
+    doc: dict = {"schema_version": SCHEMA_VERSION,
+                 "meta": {"mesh": prob.name,
+                          "num_vertices": int(prob.mesh.num_vertices),
+                          "nnzb": int(jac.nnzb), "bs": int(jac.bs),
+                          "max_steps": steps, "repeats": repeats,
+                          "smoke": bool(smoke)},
+                 "tiers": [], "structured": {}}
+    baseline_its = None
+    for tier in TIERS:
+        dedup, policy = _tier_knobs(tier)
+        _, report = solve_with_partition(
+            prob, NPARTS, fill_level=FILL, overlap=OVERLAP,
+            max_steps=steps, seed=seed, dedup=dedup, policy=policy)
+        its = [s.linear_iterations for s in report.steps]
+        entry = _measure_tier(tier, prob, jac, repeats)
+        entry["newton_steps"] = len(report.steps)
+        entry["linear_iterations"] = its
+        entry["final_reduction"] = float(report.final_reduction)
+        if tier == "baseline":
+            baseline_its = its
+        entry["newton_unchanged"] = bool(its == baseline_its)
+        doc["tiers"].append(entry)
+        speed = (lambda k: "-" if "speedup" not in entry[k]
+                 else f"{entry[k]['speedup']:.2f}x")
+        result.rows.append([
+            tier, entry["dedup_ratio"], entry["pool_dtype"],
+            speed("spmv"), speed("trisolve"), speed("gmres30_cycle"),
+            entry["predicted_bytes_per_spmv_model"],
+            entry["predicted_bytes_per_spmv_sim"],
+            entry["newton_steps"], sum(its),
+            f"{report.final_reduction:.2e}",
+        ])
+
+    # Structured companion: an unjittered box where block repetition
+    # is real (uniform geometry -> repeated dual-face normals).
+    sprob = duct_problem(7 if smoke else 13, jitter=0.0, seed=seed)
+    sq = sprob.initial.flat()
+    sjac = sprob.disc.shifted_jacobian(sq, 10.0)
+    sd = dedup_bsr(sjac)
+    spat = ilu_symbolic(sjac.indptr, sjac.indices, FILL)
+    sfactor = ilu_bsr(sjac, pattern=spat).dedup_storage()
+    doc["structured"] = {
+        "mesh": sprob.name,
+        "num_vertices": int(sprob.mesh.num_vertices),
+        "jacobian_dedup_ratio": round(sd.dedup_ratio, 4),
+        "factor_dedup_ratio": round(sfactor.dedup_ratio, 4),
+        "nnzb": int(sd.nnzb), "nuniq": int(sd.nuniq),
+    }
+    result.notes.append(
+        f"wing dedup ratio ~1: the graded mesh jitters every dual "
+        f"normal, so blocks are unique; precision tiers carry the "
+        f"traffic cut there")
+    result.notes.append(
+        f"structured {sprob.name}: Jacobian dedup ratio "
+        f"{sd.dedup_ratio:.2f} ({sd.nnzb} blocks -> {sd.nuniq} unique), "
+        f"ILU factor {sfactor.dedup_ratio:.2f} — repetition is real on "
+        f"uniform regions, as in the structured-mesh literature")
+    result.notes.append(
+        "Newton iteration counts are measured from real runs per tier; "
+        "acceptance requires them unchanged at the default policy")
+    if out:
+        atomic_write_json(out, doc)
+    return result, doc

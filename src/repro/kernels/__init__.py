@@ -35,7 +35,9 @@ from repro.kernels.capability import resolve_engine
 __all__ = ["backend_for", "resolve_engine", "edge_scatter2", "spmv_csr",
            "spmv_bsr", "gather_spmv_bsr", "lower_solve_csr",
            "upper_solve_csr", "lower_solve_bsr", "upper_solve_bsr",
-           "assemble_scatter", "levels_order"]
+           "assemble_scatter", "levels_order", "spmv_bsr_dedup",
+           "gather_spmv_bsr_dedup", "lower_solve_bsr_dedup",
+           "upper_solve_bsr_dedup", "rusanov_scatter"]
 
 #: Block-size cap of the compiled BSR kernels (C stack buffers).
 MAX_BS = 32
@@ -90,6 +92,21 @@ def _factor(a: np.ndarray) -> np.ndarray | None:
 
 def _i64(a: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(a, dtype=np.int64)
+
+
+def _i32(a: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(a, dtype=np.int32)
+
+
+def _pool(a: np.ndarray) -> np.ndarray | None:
+    """Unique-block pool storage: float64 or float32.  A float16 pool
+    is *storage-only* and has no compiled leg — the dispatcher returns
+    None and the caller widens it in the numpy oracle (fp16 compute is
+    forbidden, and neither portable C nor numba guarantee IEEE fp16
+    arithmetic anyway)."""
+    if a.dtype not in (np.float64, np.float32):
+        return None
+    return np.ascontiguousarray(a)
 
 
 # Concatenated-level solve orders, memoised by list identity (ILU
@@ -231,6 +248,104 @@ def upper_solve_bsr(indptr, indices, data, inv_diag, x, levels, bs,
     backend.upper_solve_bsr(_i64(indptr), _i64(indices), data, inv_diag,
                             x, levels_order(levels), int(bs))
     return True
+
+
+def spmv_bsr_dedup(indptr, indices, pool, pidx, x, nbrows, engine):
+    """Deduped block SpMV: stream int32 pool indices into the unique-
+    block pool.  Same arithmetic as :func:`spmv_bsr` on the expanded
+    data (one extra indirection), so it carries the same ULP bound."""
+    backend = backend_for(engine)
+    if backend is None:
+        return None
+    pool = _pool(np.asarray(pool))
+    x = _f64(np.asarray(x))
+    if pool is None or x is None or pool.shape[1] > MAX_BS:
+        return None
+    return backend.spmv_bsr_dedup(_i64(indptr), _i64(indices), pool,
+                                  _i32(pidx), x, int(nbrows))
+
+
+def gather_spmv_bsr_dedup(pool, pidx_rows, cols, seg, x, n_owned, engine):
+    """The SPMD rank SpMV over pre-gathered *pool indices* (the dedup
+    twin of :func:`gather_spmv_bsr`); ULP-bounded."""
+    backend = backend_for(engine)
+    if backend is None:
+        return None
+    pool = _pool(np.asarray(pool))
+    x = _f64(np.asarray(x))
+    if pool is None or x is None or pool.shape[1] > MAX_BS:
+        return None
+    return backend.gather_spmv_bsr_dedup(pool, _i32(pidx_rows), _i64(cols),
+                                         _i64(seg), x, int(n_owned))
+
+
+def lower_solve_bsr_dedup(indptr, indices, pool, pidx, x, levels, bs,
+                          engine) -> bool:
+    """In-place block lower solve streaming pool indices; ULP-bounded
+    vs the einsum oracle (f32 pools widen on load, like the factors)."""
+    backend = backend_for(engine)
+    if backend is None or bs > MAX_BS:
+        return False
+    pool = _pool(np.asarray(pool))
+    if pool is None:
+        return False
+    backend.lower_solve_bsr_dedup(_i64(indptr), _i64(indices), pool,
+                                  _i32(pidx), x, levels_order(levels),
+                                  int(bs))
+    return True
+
+
+def upper_solve_bsr_dedup(indptr, indices, pool, pidx, inv_diag, x,
+                          levels, bs, engine) -> bool:
+    """In-place block upper solve streaming pool indices (the block-
+    diagonal inverses stay dense — they are n blocks, not nnz)."""
+    backend = backend_for(engine)
+    if backend is None or bs > MAX_BS:
+        return False
+    pool = _pool(np.asarray(pool))
+    inv_diag = _pool(np.asarray(inv_diag))
+    if pool is None or inv_diag is None or pool.dtype != inv_diag.dtype:
+        return False
+    backend.upper_solve_bsr_dedup(_i64(indptr), _i64(indices), pool,
+                                  _i32(pidx), inv_diag, x,
+                                  levels_order(levels), int(bs))
+    return True
+
+
+#: Flux families the fused Rusanov kernel compiles (model id, ncomp).
+_RUSANOV_MODELS = {"incompressible": 4, "compressible": 5}
+
+
+def rusanov_scatter(e0, e1, ql, qr, s, n, model, param, engine):
+    """Fused Rusanov flux + two-target edge scatter.
+
+    Computes ``F = (F(ql)+F(qr))/2 - lam/2 (qr-ql)`` for the named
+    flux family (``param`` is beta for incompressible, gamma for
+    compressible) and accumulates it into both endpoint accumulators
+    in edge order — one pass, no flux temporary.  The scalar operation
+    order mirrors :func:`repro.euler.fluxes.rusanov_flux`'s numpy
+    expression, so the result is ULP-bounded against the oracle (the
+    length-3 dot products may associate differently under SIMD).
+    Returns ``(acc_a, acc_b)`` — the residual is ``acc_a - acc_b`` —
+    or None for the numpy path.
+    """
+    backend = backend_for(engine)
+    if backend is None:
+        return None
+    ncomp = _RUSANOV_MODELS.get(model)
+    if ncomp is None:
+        return None
+    ql = _f64(np.asarray(ql))
+    qr = _f64(np.asarray(qr))
+    s = _f64(np.asarray(s))
+    if ql is None or qr is None or s is None:
+        return None
+    if ql.shape != qr.shape or ql.ndim != 2 or ql.shape[1] != ncomp:
+        return None
+    if s.shape != (ql.shape[0], 3):
+        return None
+    return backend.rusanov_scatter(_i64(e0), _i64(e1), ql, qr, s,
+                                   int(n), model, float(param))
 
 
 def assemble_scatter(slots, src, sign, data, engine) -> bool:

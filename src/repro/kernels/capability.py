@@ -30,7 +30,7 @@ import warnings
 
 __all__ = ["probe_numba", "probe_c", "available_backends",
            "resolve_engine", "mark_unavailable", "record_quarantine",
-           "capability_report", "invalidate"]
+           "broken_backends", "capability_report", "invalidate"]
 
 ENGINES = ("numpy", "compiled")
 
@@ -138,6 +138,21 @@ def resolve_engine(engine: str = "compiled") -> str:
     return "numpy"
 
 
+def broken_backends() -> dict[str, dict]:
+    """Quarantined backends that *failed*, keyed by name.
+
+    A plain not-installed outcome (``ModuleNotFoundError`` from a
+    probe, ``FileNotFoundError`` for a missing compiler) is benign and
+    excluded; anything else — failed C build, import error inside an
+    installed numba, an init marked broken — is a real failure that
+    callers refusing to degrade silently (the kernel-regression bench)
+    should treat as fatal.
+    """
+    benign = ("ModuleNotFoundError", "FileNotFoundError")  # not installed
+    return {name: dict(rec) for name, rec in sorted(_QUARANTINE.items())
+            if name in _BROKEN or rec["exc_type"] not in benign}
+
+
 def _warn_fallback() -> None:
     """Warn once when compiled -> numpy fallback hides a real failure.
 
@@ -148,9 +163,7 @@ def _warn_fallback() -> None:
     global _WARNED
     if _WARNED or disabled():
         return
-    benign = ("ModuleNotFoundError", "FileNotFoundError")  # not installed
-    broken = {name: rec for name, rec in _QUARANTINE.items()
-              if name in _BROKEN or rec["exc_type"] not in benign}
+    broken = broken_backends()
     if not broken:
         return
     _WARNED = True

@@ -44,6 +44,11 @@ __oracles__ = {
     "lower_solve_bsr": "repro.sparse.trisolve.lower_solve_blocks",
     "upper_solve_bsr": "repro.sparse.trisolve.upper_solve_blocks",
     "scatter_blocks": "repro.sparse.layouts.assemble_bsr",
+    "spmv_bsr_dedup": "repro.sparse.dedup.DedupBSR.matvec",
+    "gather_spmv_bsr_dedup": "repro.parallel.spmd.rank_matvec_dedup",
+    "lower_solve_bsr_dedup": "repro.sparse.trisolve.lower_solve_blocks_dedup",
+    "upper_solve_bsr_dedup": "repro.sparse.trisolve.upper_solve_blocks_dedup",
+    "rusanov_scatter": "repro.euler.fluxes.rusanov_flux",
     "load_cbackend": "repro.kernels.capability.resolve_engine",
 }
 __fallback__ = "pure numpy via repro.kernels dispatch (returns None)"
@@ -93,10 +98,47 @@ void upper_solve_bsr_f32(long long nsolve, long long bs,
 void scatter_blocks_f64(long long nslots, long long bsq,
     const long long *slots, const double *src, double sign,
     double *data);
+void spmv_bsr_dedup_f64(long long nbrows, long long bs,
+    const long long *indptr, const long long *indices,
+    const double *pool, const int32_t *pidx, const double *x,
+    double *y);
+void spmv_bsr_dedup_f32(long long nbrows, long long bs,
+    const long long *indptr, const long long *indices,
+    const float *pool, const int32_t *pidx, const double *x,
+    double *y);
+void gather_spmv_bsr_dedup_f64(long long nblocks, long long bs,
+    const double *pool, const int32_t *pidx, const long long *cols,
+    const long long *seg, const double *x, double *y);
+void gather_spmv_bsr_dedup_f32(long long nblocks, long long bs,
+    const float *pool, const int32_t *pidx, const long long *cols,
+    const long long *seg, const double *x, double *y);
+void lower_solve_bsr_dedup_f64(long long nsolve, long long bs,
+    const long long *order, const long long *indptr,
+    const long long *indices, const double *pool, const int32_t *pidx,
+    double *x);
+void lower_solve_bsr_dedup_f32(long long nsolve, long long bs,
+    const long long *order, const long long *indptr,
+    const long long *indices, const float *pool, const int32_t *pidx,
+    double *x);
+void upper_solve_bsr_dedup_f64(long long nsolve, long long bs,
+    const long long *order, const long long *indptr,
+    const long long *indices, const double *pool, const int32_t *pidx,
+    const double *inv_diag, double *x);
+void upper_solve_bsr_dedup_f32(long long nsolve, long long bs,
+    const long long *order, const long long *indptr,
+    const long long *indices, const float *pool, const int32_t *pidx,
+    const float *inv_diag, double *x);
+void rusanov_scatter_inc(long long ne, const long long *e0,
+    const long long *e1, const double *ql, const double *qr,
+    const double *s, double beta, double *out_a, double *out_b);
+void rusanov_scatter_comp(long long ne, const long long *e0,
+    const long long *e1, const double *ql, const double *qr,
+    const double *s, double gamma, double *out_a, double *out_b);
 """
 
 _SOURCE = r"""
 #include <stdint.h>
+#include <math.h>
 
 /* Fused two-target edge scatter.  For each accumulator the additions
  * land in edge order m = 0..ne-1, the exact order np.bincount uses,
@@ -303,6 +345,202 @@ void scatter_blocks_f64(long long nslots, long long bsq,
             d[c] = sign * s[c];
     }
 }
+
+/* ---- deduplicated BSR kernels ------------------------------------
+ * Identical arithmetic to the dense block kernels above with one
+ * extra indirection: the block values come from a small unique-block
+ * pool addressed by an int32 index stream (the bandwidth win — 4
+ * bytes streamed per block instead of bs*bs*8).  The _f32 variants
+ * widen each pool value to double before arithmetic, exactly like
+ * the float32-storage trisolves. */
+#define SPMV_BSR_DEDUP(NAME, DTYPE)                                     \
+void NAME(long long nbrows, long long bs,                               \
+    const long long *indptr, const long long *indices,                  \
+    const DTYPE *pool, const int32_t *pidx, const double *x,            \
+    double *y)                                                          \
+{                                                                       \
+    for (long long i = 0; i < nbrows; ++i) {                            \
+        double *yi = y + i * bs;                                        \
+        for (long long r = 0; r < bs; ++r)                              \
+            yi[r] = 0.0;                                                \
+        for (long long t = indptr[i]; t < indptr[i + 1]; ++t) {         \
+            const DTYPE *blk = pool + (long long)pidx[t] * bs * bs;     \
+            const double *xj = x + indices[t] * bs;                     \
+            for (long long r = 0; r < bs; ++r) {                        \
+                double p = 0.0;                                         \
+                for (long long c = 0; c < bs; ++c)                      \
+                    p += (double)blk[r * bs + c] * xj[c];               \
+                yi[r] += p;                                             \
+            }                                                           \
+        }                                                               \
+    }                                                                   \
+}
+SPMV_BSR_DEDUP(spmv_bsr_dedup_f64, double)
+SPMV_BSR_DEDUP(spmv_bsr_dedup_f32, float)
+
+#define GATHER_SPMV_BSR_DEDUP(NAME, DTYPE)                              \
+void NAME(long long nblocks, long long bs,                              \
+    const DTYPE *pool, const int32_t *pidx, const long long *cols,      \
+    const long long *seg, const double *x, double *y)                   \
+{                                                                       \
+    for (long long k = 0; k < nblocks; ++k) {                           \
+        const DTYPE *blk = pool + (long long)pidx[k] * bs * bs;         \
+        const double *xj = x + cols[k] * bs;                            \
+        double *yk = y + seg[k] * bs;                                   \
+        for (long long r = 0; r < bs; ++r) {                            \
+            double p = 0.0;                                             \
+            for (long long c = 0; c < bs; ++c)                          \
+                p += (double)blk[r * bs + c] * xj[c];                   \
+            yk[r] += p;                                                 \
+        }                                                               \
+    }                                                                   \
+}
+GATHER_SPMV_BSR_DEDUP(gather_spmv_bsr_dedup_f64, double)
+GATHER_SPMV_BSR_DEDUP(gather_spmv_bsr_dedup_f32, float)
+
+#define LOWER_BSR_DEDUP(NAME, DTYPE)                                    \
+void NAME(long long nsolve, long long bs, const long long *order,       \
+    const long long *indptr, const long long *indices,                  \
+    const DTYPE *pool, const int32_t *pidx, double *x)                  \
+{                                                                       \
+    double acc[MAX_BS];                                                 \
+    for (long long k = 0; k < nsolve; ++k) {                            \
+        long long i = order[k];                                         \
+        for (long long r = 0; r < bs; ++r)                              \
+            acc[r] = 0.0;                                               \
+        for (long long t = indptr[i]; t < indptr[i + 1]; ++t) {         \
+            const DTYPE *blk = pool + (long long)pidx[t] * bs * bs;     \
+            const double *xj = x + indices[t] * bs;                     \
+            for (long long r = 0; r < bs; ++r) {                        \
+                double p = 0.0;                                         \
+                for (long long c = 0; c < bs; ++c)                      \
+                    p += (double)blk[r * bs + c] * xj[c];               \
+                acc[r] += p;                                            \
+            }                                                           \
+        }                                                               \
+        for (long long r = 0; r < bs; ++r)                              \
+            x[i * bs + r] -= acc[r];                                    \
+    }                                                                   \
+}
+LOWER_BSR_DEDUP(lower_solve_bsr_dedup_f64, double)
+LOWER_BSR_DEDUP(lower_solve_bsr_dedup_f32, float)
+
+#define UPPER_BSR_DEDUP(NAME, DTYPE)                                    \
+void NAME(long long nsolve, long long bs, const long long *order,       \
+    const long long *indptr, const long long *indices,                  \
+    const DTYPE *pool, const int32_t *pidx, const DTYPE *inv_diag,      \
+    double *x)                                                          \
+{                                                                       \
+    double acc[MAX_BS];                                                 \
+    double rhs[MAX_BS];                                                 \
+    for (long long k = 0; k < nsolve; ++k) {                            \
+        long long i = order[k];                                         \
+        for (long long r = 0; r < bs; ++r)                              \
+            acc[r] = 0.0;                                               \
+        for (long long t = indptr[i]; t < indptr[i + 1]; ++t) {         \
+            const DTYPE *blk = pool + (long long)pidx[t] * bs * bs;     \
+            const double *xj = x + indices[t] * bs;                     \
+            for (long long r = 0; r < bs; ++r) {                        \
+                double p = 0.0;                                         \
+                for (long long c = 0; c < bs; ++c)                      \
+                    p += (double)blk[r * bs + c] * xj[c];               \
+                acc[r] += p;                                            \
+            }                                                           \
+        }                                                               \
+        for (long long r = 0; r < bs; ++r)                              \
+            rhs[r] = x[i * bs + r] - acc[r];                            \
+        const DTYPE *inv = inv_diag + i * bs * bs;                      \
+        for (long long r = 0; r < bs; ++r) {                            \
+            double p = 0.0;                                             \
+            for (long long c = 0; c < bs; ++c)                          \
+                p += (double)inv[r * bs + c] * rhs[c];                  \
+            x[i * bs + r] = p;                                          \
+        }                                                               \
+    }                                                                   \
+}
+UPPER_BSR_DEDUP(upper_solve_bsr_dedup_f64, double)
+UPPER_BSR_DEDUP(upper_solve_bsr_dedup_f32, float)
+
+/* ---- fused Rusanov flux + two-target edge scatter -----------------
+ * F = (F(ql)+F(qr))/2 - lam/2 (qr-ql), lam = max wavespeed, computed
+ * per edge and accumulated into both endpoint accumulators in edge
+ * order (the bincount order).  Scalar operation order mirrors the
+ * numpy expressions in repro.euler.fluxes statement for statement;
+ * -ffp-contract=off forbids FMA, so differences vs the oracle come
+ * only from SIMD pairing of the length-3 dot products (ULP-level). */
+void rusanov_scatter_inc(long long ne, const long long *e0,
+    const long long *e1, const double *ql, const double *qr,
+    const double *s, double beta, double *out_a, double *out_b)
+{
+    for (long long m = 0; m < ne; ++m) {
+        const double *l = ql + m * 4;
+        const double *r = qr + m * 4;
+        const double *sm = s + m * 3;
+        double unl = l[1] * sm[0] + l[2] * sm[1] + l[3] * sm[2];
+        double unr = r[1] * sm[0] + r[2] * sm[1] + r[3] * sm[2];
+        double s2 = sm[0] * sm[0] + sm[1] * sm[1] + sm[2] * sm[2];
+        double wsl = fabs(unl) + sqrt(unl * unl + beta * s2);
+        double wsr = fabs(unr) + sqrt(unr * unr + beta * s2);
+        double lam = wsl >= wsr ? wsl : wsr;
+        double f[4];
+        f[0] = 0.5 * (beta * unl + beta * unr)
+             - 0.5 * lam * (r[0] - l[0]);
+        for (long long c = 0; c < 3; ++c)
+            f[1 + c] = 0.5 * ((l[1 + c] * unl + l[0] * sm[c])
+                            + (r[1 + c] * unr + r[0] * sm[c]))
+                     - 0.5 * lam * (r[1 + c] - l[1 + c]);
+        double *pa = out_a + e0[m] * 4;
+        double *pb = out_b + e1[m] * 4;
+        for (long long c = 0; c < 4; ++c) {
+            pa[c] += f[c];
+            pb[c] += f[c];
+        }
+    }
+}
+
+void rusanov_scatter_comp(long long ne, const long long *e0,
+    const long long *e1, const double *ql, const double *qr,
+    const double *s, double gamma, double *out_a, double *out_b)
+{
+    double g1 = gamma - 1.0;
+    for (long long m = 0; m < ne; ++m) {
+        const double *l = ql + m * 5;
+        const double *r = qr + m * 5;
+        const double *sm = s + m * 3;
+        double rhol = l[0], rhor = r[0];
+        double vl0 = l[1] / rhol, vl1 = l[2] / rhol, vl2 = l[3] / rhol;
+        double vr0 = r[1] / rhor, vr1 = r[2] / rhor, vr2 = r[3] / rhor;
+        double kel = 0.5 * rhol * (vl0 * vl0 + vl1 * vl1 + vl2 * vl2);
+        double ker = 0.5 * rhor * (vr0 * vr0 + vr1 * vr1 + vr2 * vr2);
+        double pl = g1 * (l[4] - kel);
+        double pr = g1 * (r[4] - ker);
+        double unl = vl0 * sm[0] + vl1 * sm[1] + vl2 * sm[2];
+        double unr = vr0 * sm[0] + vr1 * sm[1] + vr2 * sm[2];
+        double smag = sqrt(sm[0] * sm[0] + sm[1] * sm[1] + sm[2] * sm[2]);
+        double al2 = gamma * pl / rhol;
+        double ar2 = gamma * pr / rhor;
+        double cl = sqrt(al2 > 0.0 ? al2 : 0.0);
+        double cr = sqrt(ar2 > 0.0 ? ar2 : 0.0);
+        double wsl = fabs(unl) + cl * smag;
+        double wsr = fabs(unr) + cr * smag;
+        double lam = wsl >= wsr ? wsl : wsr;
+        double f[5];
+        f[0] = 0.5 * (rhol * unl + rhor * unr)
+             - 0.5 * lam * (r[0] - l[0]);
+        for (long long c = 0; c < 3; ++c)
+            f[1 + c] = 0.5 * ((l[1 + c] * unl + pl * sm[c])
+                            + (r[1 + c] * unr + pr * sm[c]))
+                     - 0.5 * lam * (r[1 + c] - l[1 + c]);
+        f[4] = 0.5 * ((l[4] + pl) * unl + (r[4] + pr) * unr)
+             - 0.5 * lam * (r[4] - l[4]);
+        double *pa = out_a + e0[m] * 5;
+        double *pb = out_b + e1[m] * 5;
+        for (long long c = 0; c < 5; ++c) {
+            pa[c] += f[c];
+            pb[c] += f[c];
+        }
+    }
+}
 """
 
 #: Block-size cap of the stack buffers in the BSR C kernels.
@@ -345,6 +583,9 @@ class CBackend:
 
     def _pi(self, a):
         return self._ffi.from_buffer("long long[]", a)
+
+    def _pi32(self, a):
+        return self._ffi.from_buffer("int32_t[]", a)
 
     # -- kernels --------------------------------------------------------
     def edge_scatter2(self, e0, e1, wa, wb, n):
@@ -421,6 +662,56 @@ class CBackend:
         self._lib.scatter_blocks_f64(slots.size, bsq, self._pi(slots),
                                      self._pd(src), float(sign),
                                      self._pdw(data))
+
+    # -- deduplicated BSR kernels --------------------------------------
+    def spmv_bsr_dedup(self, indptr, indices, pool, pidx, x, nbrows):
+        bs = pool.shape[1]
+        y = np.empty(nbrows * bs, dtype=np.float64)
+        fn, pp = ((self._lib.spmv_bsr_dedup_f32, self._pf)
+                  if pool.dtype == np.float32
+                  else (self._lib.spmv_bsr_dedup_f64, self._pd))
+        fn(nbrows, bs, self._pi(indptr), self._pi(indices), pp(pool),
+           self._pi32(pidx), self._pd(x), self._pdw(y))
+        return y
+
+    def gather_spmv_bsr_dedup(self, pool, pidx_rows, cols, seg, x, n_owned):
+        bs = pool.shape[1]
+        y = np.zeros((n_owned, bs), dtype=np.float64)
+        fn, pp = ((self._lib.gather_spmv_bsr_dedup_f32, self._pf)
+                  if pool.dtype == np.float32
+                  else (self._lib.gather_spmv_bsr_dedup_f64, self._pd))
+        fn(pidx_rows.size, bs, pp(pool), self._pi32(pidx_rows),
+           self._pi(cols), self._pi(seg), self._pd(x), self._pdw(y))
+        return y
+
+    def lower_solve_bsr_dedup(self, indptr, indices, pool, pidx, x,
+                              order, bs):
+        fn, pp = ((self._lib.lower_solve_bsr_dedup_f32, self._pf)
+                  if pool.dtype == np.float32
+                  else (self._lib.lower_solve_bsr_dedup_f64, self._pd))
+        fn(order.size, bs, self._pi(order), self._pi(indptr),
+           self._pi(indices), pp(pool), self._pi32(pidx), self._pdw(x))
+
+    def upper_solve_bsr_dedup(self, indptr, indices, pool, pidx,
+                              inv_diag, x, order, bs):
+        fn, pp = ((self._lib.upper_solve_bsr_dedup_f32, self._pf)
+                  if pool.dtype == np.float32
+                  else (self._lib.upper_solve_bsr_dedup_f64, self._pd))
+        fn(order.size, bs, self._pi(order), self._pi(indptr),
+           self._pi(indices), pp(pool), self._pi32(pidx), pp(inv_diag),
+           self._pdw(x))
+
+    # -- fused Rusanov flux + scatter ----------------------------------
+    def rusanov_scatter(self, e0, e1, ql, qr, s, n, model, param):
+        ncomp = ql.shape[1]
+        out_a = np.zeros((n, ncomp), dtype=np.float64)
+        out_b = np.zeros((n, ncomp), dtype=np.float64)
+        fn = (self._lib.rusanov_scatter_inc if model == "incompressible"
+              else self._lib.rusanov_scatter_comp)
+        fn(ql.shape[0], self._pi(e0), self._pi(e1), self._pd(ql),
+           self._pd(qr), self._pd(s), param, self._pdw(out_a),
+           self._pdw(out_b))
+        return out_a, out_b
 
 
 def load_cbackend() -> CBackend | None:

@@ -31,6 +31,11 @@ __oracles__ = {
     "lower_solve_bsr": "repro.sparse.trisolve.lower_solve_blocks",
     "upper_solve_bsr": "repro.sparse.trisolve.upper_solve_blocks",
     "scatter_blocks": "repro.sparse.layouts.assemble_bsr",
+    "spmv_bsr_dedup": "repro.sparse.dedup.DedupBSR.matvec",
+    "gather_spmv_bsr_dedup": "repro.parallel.spmd.rank_matvec_dedup",
+    "lower_solve_bsr_dedup": "repro.sparse.trisolve.lower_solve_blocks_dedup",
+    "upper_solve_bsr_dedup": "repro.sparse.trisolve.upper_solve_blocks_dedup",
+    "rusanov_scatter": "repro.euler.fluxes.rusanov_flux",
 }
 __fallback__ = "pure numpy via repro.kernels dispatch (returns None)"
 
@@ -170,6 +175,156 @@ def _scatter_blocks(slots, src, sign, data):  # pragma: no cover - jit
             out[s, c] = sign * flat[k, c]
 
 
+@njit(cache=True)
+def _spmv_bsr_dedup(indptr, indices, pool, pidx, x, y):  # pragma: no cover
+    nbrows = indptr.size - 1
+    bs = pool.shape[1]
+    for i in range(nbrows):
+        for r in range(bs):
+            y[i, r] = 0.0
+        for t in range(indptr[i], indptr[i + 1]):
+            j = indices[t]
+            u = pidx[t]
+            for r in range(bs):
+                p = 0.0
+                for c in range(bs):
+                    p += np.float64(pool[u, r, c]) * x[j, c]
+                y[i, r] += p
+
+
+@njit(cache=True)
+def _gather_spmv_bsr_dedup(pool, pidx, cols, seg, x, y):  # pragma: no cover
+    nblocks = pidx.size
+    bs = pool.shape[1]
+    for k in range(nblocks):
+        j = cols[k]
+        i = seg[k]
+        u = pidx[k]
+        for r in range(bs):
+            p = 0.0
+            for c in range(bs):
+                p += np.float64(pool[u, r, c]) * x[j, c]
+            y[i, r] += p
+
+
+@njit(cache=True)
+def _lower_solve_bsr_dedup(order, indptr, indices, pool, pidx, x,
+                           bs):  # pragma: no cover - jit
+    acc = np.empty(bs, dtype=np.float64)
+    for k in range(order.size):
+        i = order[k]
+        for r in range(bs):
+            acc[r] = 0.0
+        for t in range(indptr[i], indptr[i + 1]):
+            j = indices[t]
+            u = pidx[t]
+            for r in range(bs):
+                p = 0.0
+                for c in range(bs):
+                    p += np.float64(pool[u, r, c]) * x[j * bs + c]
+                acc[r] += p
+        for r in range(bs):
+            x[i * bs + r] -= acc[r]
+
+
+@njit(cache=True)
+def _upper_solve_bsr_dedup(order, indptr, indices, pool, pidx, inv_diag,
+                           x, bs):  # pragma: no cover - jit
+    acc = np.empty(bs, dtype=np.float64)
+    rhs = np.empty(bs, dtype=np.float64)
+    for k in range(order.size):
+        i = order[k]
+        for r in range(bs):
+            acc[r] = 0.0
+        for t in range(indptr[i], indptr[i + 1]):
+            j = indices[t]
+            u = pidx[t]
+            for r in range(bs):
+                p = 0.0
+                for c in range(bs):
+                    p += np.float64(pool[u, r, c]) * x[j * bs + c]
+                acc[r] += p
+        for r in range(bs):
+            rhs[r] = x[i * bs + r] - acc[r]
+        for r in range(bs):
+            p = 0.0
+            for c in range(bs):
+                p += np.float64(inv_diag[i, r, c]) * rhs[c]
+            x[i * bs + r] = p
+
+
+@njit(cache=True)
+def _rusanov_scatter_inc(e0, e1, ql, qr, s, beta, out_a,
+                         out_b):  # pragma: no cover - jit
+    ne = ql.shape[0]
+    for m in range(ne):
+        unl = ql[m, 1] * s[m, 0] + ql[m, 2] * s[m, 1] + ql[m, 3] * s[m, 2]
+        unr = qr[m, 1] * s[m, 0] + qr[m, 2] * s[m, 1] + qr[m, 3] * s[m, 2]
+        s2 = s[m, 0] * s[m, 0] + s[m, 1] * s[m, 1] + s[m, 2] * s[m, 2]
+        wsl = abs(unl) + np.sqrt(unl * unl + beta * s2)
+        wsr = abs(unr) + np.sqrt(unr * unr + beta * s2)
+        lam = wsl if wsl >= wsr else wsr
+        ia = e0[m]
+        ib = e1[m]
+        f0 = 0.5 * (beta * unl + beta * unr) \
+            - 0.5 * lam * (qr[m, 0] - ql[m, 0])
+        out_a[ia, 0] += f0
+        out_b[ib, 0] += f0
+        for c in range(3):
+            fc = 0.5 * ((ql[m, 1 + c] * unl + ql[m, 0] * s[m, c])
+                        + (qr[m, 1 + c] * unr + qr[m, 0] * s[m, c])) \
+                - 0.5 * lam * (qr[m, 1 + c] - ql[m, 1 + c])
+            out_a[ia, 1 + c] += fc
+            out_b[ib, 1 + c] += fc
+
+
+@njit(cache=True)
+def _rusanov_scatter_comp(e0, e1, ql, qr, s, gamma, out_a,
+                          out_b):  # pragma: no cover - jit
+    ne = ql.shape[0]
+    g1 = gamma - 1.0
+    for m in range(ne):
+        rhol = ql[m, 0]
+        rhor = qr[m, 0]
+        vl0 = ql[m, 1] / rhol
+        vl1 = ql[m, 2] / rhol
+        vl2 = ql[m, 3] / rhol
+        vr0 = qr[m, 1] / rhor
+        vr1 = qr[m, 2] / rhor
+        vr2 = qr[m, 3] / rhor
+        kel = 0.5 * rhol * (vl0 * vl0 + vl1 * vl1 + vl2 * vl2)
+        ker = 0.5 * rhor * (vr0 * vr0 + vr1 * vr1 + vr2 * vr2)
+        pl = g1 * (ql[m, 4] - kel)
+        pr = g1 * (qr[m, 4] - ker)
+        unl = vl0 * s[m, 0] + vl1 * s[m, 1] + vl2 * s[m, 2]
+        unr = vr0 * s[m, 0] + vr1 * s[m, 1] + vr2 * s[m, 2]
+        smag = np.sqrt(s[m, 0] * s[m, 0] + s[m, 1] * s[m, 1]
+                       + s[m, 2] * s[m, 2])
+        al2 = gamma * pl / rhol
+        ar2 = gamma * pr / rhor
+        cl = np.sqrt(al2 if al2 > 0.0 else 0.0)
+        cr = np.sqrt(ar2 if ar2 > 0.0 else 0.0)
+        wsl = abs(unl) + cl * smag
+        wsr = abs(unr) + cr * smag
+        lam = wsl if wsl >= wsr else wsr
+        ia = e0[m]
+        ib = e1[m]
+        f0 = 0.5 * (rhol * unl + rhor * unr) \
+            - 0.5 * lam * (qr[m, 0] - ql[m, 0])
+        out_a[ia, 0] += f0
+        out_b[ib, 0] += f0
+        for c in range(3):
+            fc = 0.5 * ((ql[m, 1 + c] * unl + pl * s[m, c])
+                        + (qr[m, 1 + c] * unr + pr * s[m, c])) \
+                - 0.5 * lam * (qr[m, 1 + c] - ql[m, 1 + c])
+            out_a[ia, 1 + c] += fc
+            out_b[ib, 1 + c] += fc
+        f4 = 0.5 * ((ql[m, 4] + pl) * unl + (qr[m, 4] + pr) * unr) \
+            - 0.5 * lam * (qr[m, 4] - ql[m, 4])
+        out_a[ia, 4] += f4
+        out_b[ib, 4] += f4
+
+
 class NumbaBackend:
     """Same call surface as :class:`repro.kernels.cbackend.CBackend`."""
 
@@ -221,3 +376,34 @@ class NumbaBackend:
     def scatter_blocks(self, slots, src, sign, data):
         _scatter_blocks(slots, np.ascontiguousarray(src), float(sign),
                         data)
+
+    def spmv_bsr_dedup(self, indptr, indices, pool, pidx, x, nbrows):
+        bs = pool.shape[1]
+        y = np.empty((nbrows, bs), dtype=np.float64)
+        _spmv_bsr_dedup(indptr, indices, pool, pidx,
+                        x.reshape(-1, bs), y)
+        return y.ravel()
+
+    def gather_spmv_bsr_dedup(self, pool, pidx_rows, cols, seg, x, n_owned):
+        bs = pool.shape[1]
+        y = np.zeros((n_owned, bs), dtype=np.float64)
+        _gather_spmv_bsr_dedup(pool, pidx_rows, cols, seg, x, y)
+        return y
+
+    def lower_solve_bsr_dedup(self, indptr, indices, pool, pidx, x,
+                              order, bs):
+        _lower_solve_bsr_dedup(order, indptr, indices, pool, pidx, x, bs)
+
+    def upper_solve_bsr_dedup(self, indptr, indices, pool, pidx,
+                              inv_diag, x, order, bs):
+        _upper_solve_bsr_dedup(order, indptr, indices, pool, pidx,
+                               inv_diag, x, bs)
+
+    def rusanov_scatter(self, e0, e1, ql, qr, s, n, model, param):
+        ncomp = ql.shape[1]
+        out_a = np.zeros((n, ncomp), dtype=np.float64)
+        out_b = np.zeros((n, ncomp), dtype=np.float64)
+        fn = (_rusanov_scatter_inc if model == "incompressible"
+              else _rusanov_scatter_comp)
+        fn(e0, e1, ql, qr, s, param, out_a, out_b)
+        return out_a, out_b

@@ -7,9 +7,17 @@ rule flags
 
 * array constructors (``zeros/empty/ones/full/arange/array``) without
   an explicit ``dtype=`` (positional dtype accepted where the numpy
-  signature allows it), and
+  signature allows it),
 * arithmetic with an inline ``np.float64(...)``/``np.double(...)``
-  scalar, which promotes any float32 operand.
+  scalar, which promotes any float32 operand, and
+* **fp16 compute** — ``np.float16(...)`` / ``.astype(np.float16)``
+  appearing as an arithmetic operand.  Half precision is a *storage*
+  format in this codebase (the deduplicated block pools): its 11-bit
+  significand is far too short for flux or factor arithmetic, so
+  every fp16 array must widen (``.astype(np.float32)``) before any
+  operation touches it.  Storing to fp16 (assignment, return, a
+  constructor argument) is allowed — only arithmetic on the narrow
+  form is flagged.
 
 Fix by propagating the input dtype (``dtype=x.dtype``) or stating the
 intended precision (``dtype=np.float64``) — either way the choice is
@@ -35,6 +43,8 @@ _CTORS: dict[str, int | None] = {
 
 _PROMOTING = frozenset({"float64", "double", "float_"})
 
+_HALF = frozenset({"float16", "half"})
+
 _ARITH = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod,
           ast.Pow, ast.MatMult)
 
@@ -53,12 +63,37 @@ def _is_promoting_scalar(node: ast.expr, aliases: set[str]) -> bool:
             and chain[1] in _PROMOTING)
 
 
+def _is_half(node: ast.expr, aliases: set[str]) -> bool:
+    """``np.float16``/``np.half`` or the strings naming them."""
+    if isinstance(node, ast.Constant):
+        return node.value in _HALF
+    chain = attr_chain(node)
+    return (chain is not None and len(chain) == 2 and chain[0] in aliases
+            and chain[1] in _HALF)
+
+
+def _is_half_compute(node: ast.expr, aliases: set[str]) -> bool:
+    """An fp16-valued expression: ``np.float16(...)`` or
+    ``<expr>.astype(np.float16)`` (arithmetic on it is the violation;
+    storing it is not)."""
+    if not isinstance(node, ast.Call):
+        return False
+    chain = attr_chain(node.func)
+    if (chain is not None and len(chain) == 2 and chain[0] in aliases
+            and chain[1] in _HALF):
+        return True
+    return (isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype" and node.args
+            and _is_half(node.args[0], aliases))
+
+
 @rule
 class DtypeDiscipline(Rule):
     id = "R002"
     name = "dtype-discipline"
     summary = ("kernel-module array constructors state their dtype; no "
-               "float64 scalar promotion in arithmetic")
+               "float64 scalar promotion in arithmetic; fp16 is "
+               "storage-only (never an arithmetic operand)")
 
     def check_module(self, module: ModuleInfo):
         if not module.is_kernel or module.tree is None:
@@ -89,6 +124,14 @@ class DtypeDiscipline(Rule):
                                 "float64 scalar constructor in arithmetic "
                                 "promotes float32 arrays — use an in-dtype "
                                 "scalar or a plain Python float", counts)
+                    elif _is_half_compute(side, aliases):
+                        if not module.suppressed(self.id, node.lineno):
+                            yield module.finding(
+                                self.id, node.lineno, node.col_offset,
+                                "fp16 operand in arithmetic — half "
+                                "precision is storage-only; widen with "
+                                ".astype(np.float32) before computing",
+                                counts)
             elif isinstance(node, ast.AugAssign) and isinstance(node.op,
                                                                 _ARITH):
                 if _is_promoting_scalar(node.value, aliases):
@@ -98,3 +141,11 @@ class DtypeDiscipline(Rule):
                             "float64 scalar constructor in arithmetic "
                             "promotes float32 arrays — use an in-dtype "
                             "scalar or a plain Python float", counts)
+                elif _is_half_compute(node.value, aliases):
+                    if not module.suppressed(self.id, node.lineno):
+                        yield module.finding(
+                            self.id, node.lineno, node.col_offset,
+                            "fp16 operand in arithmetic — half "
+                            "precision is storage-only; widen with "
+                            ".astype(np.float32) before computing",
+                            counts)

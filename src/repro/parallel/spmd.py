@@ -45,13 +45,14 @@ from repro import kernels as _kernels
 from repro.euler.discretization import EdgeFVDiscretization
 from repro.parallel.threads import chunk_ranges, resolve_threads, run_chunks
 from repro.sparse.bsr import BSRMatrix
+from repro.sparse.dedup import DedupBSR, widen_pool
 from repro.sparse.segsum import concat_ranges, segment_sum
 from repro.telemetry.recorder import NULL_RECORDER
 
 __all__ = ["RankLocalData", "SPMDLayout", "GhostExchange",
            "distributed_residual", "distributed_matvec", "distributed_dot",
-           "rank_residual", "rank_matvec", "rank_matvec_structs",
-           "tree_reduce_sum"]
+           "rank_residual", "rank_matvec", "rank_matvec_dedup",
+           "rank_matvec_structs", "tree_reduce_sum"]
 
 
 @dataclass
@@ -271,7 +272,7 @@ def rank_residual(disc: EdgeFVDiscretization, rd: RankLocalData,
     re-associated at chunk boundaries); ``threads=1`` runs the
     untouched single-thread path — the bitwise oracle.
     """
-    from repro.euler.fluxes import rusanov_flux
+    from repro.euler.fluxes import rusanov_flux, rusanov_model
 
     ncomp = disc.ncomp
     threads = resolve_threads(threads)
@@ -284,15 +285,29 @@ def rank_residual(disc: EdgeFVDiscretization, rd: RankLocalData,
              if edge_normals is None else edge_normals)
         engine = getattr(disc, "engine", "numpy")
 
+        compiled_f64 = (engine != "numpy"
+                        and np.dtype(out_dtype) == np.float64)
+        model = rusanov_model(disc) if compiled_f64 else None
+
         def edge_chunk(lo: int, hi: int) -> np.ndarray:
             ql = local_q_r[e0[lo:hi]]
             qr = local_q_r[e1[lo:hi]]
+            if model is not None:
+                # End-to-end compiled interior leg: flux arithmetic and
+                # scatter in one pass (satellite of bandwidth round 2 —
+                # previously only the scatter was compiled).  Same
+                # normwise contract as the numpy flux + compiled
+                # scatter; both executors share this kernel, so
+                # seq == proc is preserved structurally.
+                fused = _kernels.rusanov_scatter(
+                    e0[lo:hi], e1[lo:hi], ql, qr, s[lo:hi], rd.n_local,
+                    model[0], model[1], engine)
+                if fused is not None:
+                    return fused[0] - fused[1]
             f = rusanov_flux(ql, qr, s[lo:hi], disc._flux, disc._wavespeed)
             scat = (_kernels.edge_scatter2(e0[lo:hi], e1[lo:hi], f, f,
                                            rd.n_local, engine)
-                    if engine != "numpy"
-                    and np.dtype(out_dtype) == np.float64
-                    else None)
+                    if compiled_f64 else None)
             if scat is not None:
                 return scat[0] - scat[1]
             return (segment_sum(e0[lo:hi], f, rd.n_local)
@@ -388,6 +403,69 @@ def rank_matvec(data_rows: np.ndarray, cols: np.ndarray, seg: np.ndarray,
         np.take(local_x_r, cols, axis=0, out=gathered)
         np.einsum("kij,kj->ki", data_rows, gathered, out=prods)
     return segment_sum(seg, prods, n_owned)
+
+
+def rank_matvec_dedup(pool: np.ndarray, pidx_rows: np.ndarray,
+                      cols: np.ndarray, seg: np.ndarray,
+                      local_x_r: np.ndarray, n_owned: int,
+                      engine: str = "numpy",
+                      threads: int = 1) -> np.ndarray:
+    """One rank's owned SpMV rows on a deduplicated matrix: the block
+    values live in the unique-block ``pool`` and ``pidx_rows`` streams
+    one int32 pool index per gathered block entry.
+
+    At float64 pool storage ``pool[pidx_rows]`` is bitwise-equal to the
+    dense ``data[flat]`` gather, so this kernel — numpy or compiled —
+    matches :func:`rank_matvec` exactly leg for leg, and seq/proc
+    bitwise identity carries over to the deduplicated form unchanged.
+    Reduced-precision pools widen on load (fp16 -> fp32 -> promotion
+    against ``x``); the compiled leg handles f64/f32 pools and degrades
+    to numpy for fp16 (storage-only).  ``threads>1`` splits the owned
+    rows at segment boundaries exactly like :func:`rank_matvec`.
+    """
+    threads = resolve_threads(threads)
+    if threads > 1 and n_owned > 1:
+        return _rank_matvec_dedup_threaded(pool, pidx_rows, cols, seg,
+                                           local_x_r, n_owned, engine,
+                                           threads)
+    if engine != "numpy":
+        y = _kernels.gather_spmv_bsr_dedup(pool, pidx_rows, cols, seg,
+                                           local_x_r, n_owned, engine)
+        if y is not None:
+            return y
+    prods = np.einsum("kij,kj->ki", widen_pool(pool)[pidx_rows],
+                      local_x_r[cols])
+    return segment_sum(seg, prods, n_owned)
+
+
+def _rank_matvec_dedup_threaded(pool: np.ndarray, pidx_rows: np.ndarray,
+                                cols: np.ndarray, seg: np.ndarray,
+                                local_x_r: np.ndarray, n_owned: int,
+                                engine: str, threads: int) -> np.ndarray:
+    """Row-chunked deduplicated rank SpMV (see
+    :func:`_rank_matvec_threaded`: same chunking, pool-indexed
+    values)."""
+    bs = pool.shape[1]
+    wide = widen_pool(pool)
+    out_dtype = np.result_type(wide, local_x_r)
+    out = np.empty((n_owned, bs), dtype=out_dtype)
+
+    def row_chunk(r0: int, r1: int) -> None:
+        klo, khi = np.searchsorted(seg, (r0, r1))
+        sub_seg = seg[klo:khi] - r0
+        y = None
+        if engine != "numpy":
+            y = _kernels.gather_spmv_bsr_dedup(
+                pool, pidx_rows[klo:khi], cols[klo:khi], sub_seg,
+                local_x_r, r1 - r0, engine)
+        if y is None:
+            prods = np.einsum("kij,kj->ki", wide[pidx_rows[klo:khi]],
+                              local_x_r[cols[klo:khi]])
+            y = segment_sum(sub_seg, prods, r1 - r0)
+        out[r0:r1] = y
+
+    run_chunks(row_chunk, chunk_ranges(n_owned, threads), threads)
+    return out
 
 
 def _rank_matvec_threaded(data_rows: np.ndarray, cols: np.ndarray,
@@ -510,7 +588,7 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
     return out.ravel()
 
 
-def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
+def distributed_matvec(a: BSRMatrix | DedupBSR, layout: SPMDLayout,
                        xglobal: np.ndarray,
                        exchange: GhostExchange | None = None,
                        *, recorder=NULL_RECORDER,
@@ -524,6 +602,11 @@ def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
     ``executor`` selects the backend as in :func:`distributed_residual`;
     ``threads`` is the intra-rank team size, honoured identically by
     both executors.
+
+    ``a`` may be a :class:`~repro.sparse.dedup.DedupBSR`: the rank
+    kernels then stream int32 pool indices instead of dense blocks
+    (:func:`rank_matvec_dedup`), bitwise-identical to the dense form at
+    float64 pool storage on both executors.
     """
     bs = a.bs
     threads = resolve_threads(threads)
@@ -539,15 +622,21 @@ def distributed_matvec(a: BSRMatrix, layout: SPMDLayout,
     ex.refresh(local_x)
     y = np.zeros((a.nbrows, bs), dtype=xglobal.dtype)
     per_rank_s = [0.0] * layout.nranks
+    dedup = isinstance(a, DedupBSR)
     # lint: loop-ok (rank loop of the SPMD matvec, O(nranks))
     for rd in layout.ranks:
         with rec.span("matvec", rank=rd.rank) as sp:
             # All owned block rows as one flat batch: gather the block
             # entries of every row, block-gemv them, segment-sum per row.
             flat, cols, seg = rank_matvec_structs(a, rd)
-            y[rd.owned] = rank_matvec(a.data[flat], cols, seg,
-                                      local_x[rd.rank], rd.owned.size,
-                                      engine=a.engine, threads=threads)
+            if dedup:
+                y[rd.owned] = rank_matvec_dedup(
+                    a.pool, a.pidx[flat], cols, seg, local_x[rd.rank],
+                    rd.owned.size, engine=a.engine, threads=threads)
+            else:
+                y[rd.owned] = rank_matvec(a.data[flat], cols, seg,
+                                          local_x[rd.rank], rd.owned.size,
+                                          engine=a.engine, threads=threads)
         per_rank_s[rd.rank] = sp.elapsed
     rec.record_wait("matvec", per_rank_s)
     return y.ravel()

@@ -1,0 +1,231 @@
+"""Repeated-block deduplication for BSR matrices (bandwidth round 2).
+
+The paper's thesis is that the solver is memory-bandwidth-bound, and
+its Table 2 wins came from shrinking data traffic.  This module pushes
+the same lever further, after Plana-Riu et al. ("Exploiting repeated
+matrix block structures", PAPERS.md): on meshes with repeated geometry
+(and at freestream states generally), many of the Jacobian's bs x bs
+blocks are *bitwise identical* — the flux Jacobian of an edge depends
+only on the two states and the dual-face normal, all of which repeat.
+Instead of streaming ``nnzb * bs^2`` float64 values per SpMV, we
+content-hash the blocks once into a small unique-block pool and stream
+an ``int32`` pool index per block entry: 4 bytes where the dense form
+moves ``bs^2 * 8``.
+
+The compaction is *bitwise*: two blocks share a pool slot only when
+their byte patterns are equal, so at float64 pool storage every
+deduped kernel (SpMV, trisolve via :mod:`repro.sparse.trisolve`,
+ILU application via :mod:`repro.sparse.ilu`) computes with exactly
+the values the dense oracle computes with, and gather-based numpy
+paths are bitwise-identical to the dense kernels.  Reduced-precision
+pool storage (float32 / float16, the :class:`~repro.sparse.precision.
+PrecisionPolicy` tiers) rounds only the pool values; compute stays
+float64/float32 (fp16 *compute* is forbidden — reprolint R002 flags
+it) and the error is bounded by the ``experiments.eqbounds`` helpers.
+"""
+
+from __future__ import annotations
+
+# lint: kernel (content-hashed block compaction + deduped SpMV)
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sparse.bsr import BSRMatrix
+from repro.sparse.segsum import segment_sum
+
+__all__ = ["DedupBSR", "dedup_blocks", "dedup_bsr", "widen_pool"]
+
+#: Pool storage dtypes the dedup layer accepts (fp16 is storage-only;
+#: every kernel widens it to float32 before arithmetic).
+POOL_DTYPES = (np.float64, np.float32, np.float16)
+
+
+def dedup_blocks(data: np.ndarray):
+    """Content-hashed compaction: ``(pool, pidx)`` with
+    ``pool[pidx] == data`` bitwise.
+
+    Blocks are compared by their raw bytes (a void view), so only
+    bitwise-equal blocks share a slot — ``-0.0`` and ``0.0`` stay
+    distinct and the round-trip is exact.  ``pidx`` is int32: the pool
+    index stream is the object whose traffic replaces the dense block
+    stream, so its width is the point.
+    """
+    data = np.ascontiguousarray(data)
+    nnzb = data.shape[0]
+    tail = data.shape[1:]
+    if nnzb == 0:
+        return (np.empty((0,) + tail, dtype=data.dtype),
+                np.empty(0, dtype=np.int32))
+    flat = data.reshape(nnzb, -1)
+    keys = flat.view(np.dtype((np.void, flat.dtype.itemsize * flat.shape[1])))
+    _, first, inverse = np.unique(keys.ravel(), return_index=True,
+                                  return_inverse=True)
+    if first.size > np.iinfo(np.int32).max:
+        raise ValueError("unique-block pool exceeds int32 indexing")
+    pool = np.ascontiguousarray(flat[first].reshape((-1,) + tail))
+    return pool, inverse.astype(np.int32, copy=False).ravel()
+
+
+def widen_pool(pool: np.ndarray) -> np.ndarray:
+    """The pool as a *compute-safe* array: float16 storage widens to
+    float32 (fp16 arithmetic is forbidden — storage-only), other
+    dtypes pass through unchanged."""
+    if pool.dtype == np.float16:
+        return pool.astype(np.float32)
+    return pool
+
+
+@dataclass
+class DedupBSR:
+    """BSR matrix in deduplicated form: unique-block pool + int32
+    per-entry pool index.
+
+    The block *structure* (``indptr``/``indices``) is unchanged from
+    :class:`~repro.sparse.bsr.BSRMatrix`; only the value stream is
+    compacted.  ``expand()`` reconstructs the dense form bitwise (at
+    matching pool dtype).  ``engine``/``threads`` mirror the BSRMatrix
+    knobs so the SPMD executors and the driver can treat both forms
+    uniformly.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    pool: np.ndarray            # (nuniq, bs, bs) unique blocks
+    pidx: np.ndarray            # (nnzb,) int32 pool index per entry
+    nbcols: int
+    engine: str = "numpy"
+    threads: int = 1
+    _row_of: np.ndarray | None = field(default=None, repr=False,
+                                       compare=False)
+
+    def __post_init__(self) -> None:
+        self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        self.pidx = np.ascontiguousarray(self.pidx, dtype=np.int32)
+        self.pool = np.ascontiguousarray(self.pool)
+        if self.pool.ndim != 3 or self.pool.shape[1] != self.pool.shape[2]:
+            raise ValueError("pool must be (nuniq, bs, bs)")
+        if self.pool.dtype not in POOL_DTYPES:
+            raise ValueError(f"unsupported pool dtype {self.pool.dtype}")
+        if self.pidx.size != self.indices.size:
+            raise ValueError("pidx must have one entry per stored block")
+        if self.pidx.size and self.pool.shape[0] == 0:
+            raise ValueError("empty pool with nonzero entries")
+        if self.pidx.size and int(self.pidx.max()) >= self.pool.shape[0]:
+            raise ValueError("pool index out of range")
+
+    # -- shape/accounting ----------------------------------------------
+    @property
+    def bs(self) -> int:
+        return int(self.pool.shape[1])
+
+    @property
+    def nbrows(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def nnzb(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def nuniq(self) -> int:
+        return int(self.pool.shape[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nbrows * self.bs, self.nbcols * self.bs)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Stored blocks per unique block (>= 1; higher = more reuse)."""
+        return self.nnzb / max(self.nuniq, 1)
+
+    @property
+    def value_bytes(self) -> int:
+        """Bytes of the unique-block pool."""
+        return int(self.pool.nbytes)
+
+    @property
+    def index_bytes(self) -> int:
+        """Bytes of the structure + pool-index streams."""
+        return int(self.indptr.nbytes + self.indices.nbytes
+                   + self.pidx.nbytes)
+
+    @property
+    def row_of(self) -> np.ndarray:
+        if self._row_of is None:
+            counts = np.diff(self.indptr)
+            self._row_of = np.repeat(
+                np.arange(self.nbrows, dtype=np.int64), counts)
+        return self._row_of
+
+    # -- conversions -----------------------------------------------------
+    def expand(self) -> BSRMatrix:
+        """The dense-BSR form: ``data = pool[pidx]`` (bitwise; float16
+        pools widen to float32, since BSRMatrix stores compute-grade
+        values)."""
+        data = widen_pool(self.pool)[self.pidx]
+        return BSRMatrix(self.indptr.copy(), self.indices.copy(),
+                         np.ascontiguousarray(data), self.nbcols,
+                         engine=self.engine, threads=self.threads)
+
+    def astype_pool(self, dtype) -> "DedupBSR":
+        """Same structure, pool stored at ``dtype`` (the precision-
+        policy knob).  Rounds pool values only — indices are exact."""
+        dtype = np.dtype(dtype)
+        if dtype.type not in POOL_DTYPES:
+            raise ValueError(f"unsupported pool dtype {dtype}")
+        return DedupBSR(self.indptr, self.indices,
+                        self.pool.astype(dtype), self.pidx, self.nbcols,
+                        engine=self.engine, threads=self.threads)
+
+    def copy(self) -> "DedupBSR":
+        return DedupBSR(self.indptr.copy(), self.indices.copy(),
+                        self.pool.copy(), self.pidx.copy(), self.nbcols,
+                        engine=self.engine, threads=self.threads)
+
+    # -- kernels ---------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """y = A x streaming pool indices.
+
+        At float64 pool storage this is bitwise-identical to
+        ``self.expand().matvec(x)``: the numpy path gathers
+        ``pool[pidx]`` (bitwise equal to the dense data array) and
+        runs the *same* einsum/segment-sum; the compiled path is the
+        dense block kernel with one extra int32 indirection, so it
+        inherits the dense kernel's ULP bound.  Reduced-precision
+        pools widen each block on load (fp16 -> fp32 lanes, then the
+        usual promotion against ``x``).
+        """
+        from repro import kernels as _kernels
+
+        x = np.asarray(x)
+        xb = x.reshape(self.nbcols, self.bs)
+        if (self.engine != "numpy" and x.dtype == np.float64):
+            y = _kernels.spmv_bsr_dedup(self.indptr, self.indices,
+                                        self.pool, self.pidx, x,
+                                        self.nbrows, self.engine)
+            if y is not None:
+                return y
+        pool = widen_pool(self.pool)
+        prods = np.einsum("kij,kj->ki", pool[self.pidx], xb[self.indices])
+        return segment_sum(self.row_of, prods, self.nbrows).ravel()
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+
+def dedup_bsr(a: BSRMatrix, pool_dtype=None) -> DedupBSR:
+    """Compact ``a``'s block values into a :class:`DedupBSR`.
+
+    Deduplication always runs on the *stored* (float64) bytes, so the
+    pool index map is independent of the requested storage precision;
+    ``pool_dtype`` then rounds the pool once, after compaction.
+    """
+    pool, pidx = dedup_blocks(a.data)
+    if pool_dtype is not None and np.dtype(pool_dtype) != pool.dtype:
+        pool = pool.astype(pool_dtype)
+    return DedupBSR(a.indptr, a.indices, pool, pidx, a.nbcols,
+                    engine=a.engine, threads=getattr(a, "threads", 1))

@@ -1,4 +1,5 @@
-"""R002 fixture: every constructor states its dtype; no promotion."""
+"""R002 fixture: every constructor states its dtype; no promotion;
+fp16 used for storage only (widened before compute)."""
 
 # lint: kernel (fixture: pretend this is a hot-path module)
 
@@ -13,3 +14,14 @@ def workspace(n, dtype=np.float64):
 
 def scale(x):
     return x.dtype.type(0.5) * x
+
+
+def compact(pool):
+    # Storing to fp16 is fine — only arithmetic on the narrow form is
+    # the violation.
+    return pool.astype(np.float16)
+
+
+def half_matvec(pool16, x):
+    wide = pool16.astype(np.float32)
+    return wide @ x

@@ -1,4 +1,5 @@
-"""R002 fixture: dtype-blind constructors and fp64-scalar promotion."""
+"""R002 fixture: dtype-blind constructors, fp64-scalar promotion, and
+fp16 compute."""
 
 # lint: kernel (fixture: pretend this is a hot-path module)
 
@@ -13,3 +14,10 @@ def workspace(n):
 
 def scale(x):
     return np.float64(0.5) * x
+
+
+def half_compute(pool, x):
+    # fp16 is storage-only: arithmetic on the narrow form is flagged.
+    y = pool.astype(np.float16) @ x
+    y += np.float16(2.0)
+    return y

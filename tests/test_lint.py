@@ -41,11 +41,14 @@ class TestRuleFixtures:
     def test_compliant_fixture_is_clean(self, rule):
         assert lint_fixture(f"{rule.lower()}_compliant.py") == []
 
-    def test_r002_counts_both_bug_classes(self):
-        """Dtype-blind constructors and fp64-scalar promotion are
-        separate findings (zeros, arange, float64*x)."""
+    def test_r002_counts_all_bug_classes(self):
+        """Dtype-blind constructors, fp64-scalar promotion, and fp16
+        compute are separate findings (zeros, arange, float64*x,
+        astype(f16)@x, += float16)."""
         findings = lint_fixture("r002_violating.py")
-        assert len(findings) == 3
+        assert len(findings) == 5
+        half = [f for f in findings if "storage-only" in f.message]
+        assert len(half) == 2
 
     def test_r005_counts_all_three_contracts(self):
         """None-default recorder + two clock reads + unseeded RNG."""
