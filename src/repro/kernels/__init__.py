@@ -69,6 +69,7 @@ def backend_for(engine: str):
             # backend.  load_cbackend records its own exception.
             capability.mark_unavailable(name, exc=init_exc)
             return backend_for(engine)
+        # lint: purity-ok (per-process backend memo: a forked worker must build its own cffi/numba handles)
         _BACKENDS[name] = backend
     return backend
 

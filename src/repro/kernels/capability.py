@@ -57,6 +57,7 @@ def record_quarantine(backend: str, stage: str, exc: BaseException) -> None:
     """
     tb = traceback.format_exception(type(exc), exc, exc.__traceback__)
     tail = "".join(tb).rstrip().splitlines()[-_TB_TAIL_LINES:]
+    # lint: purity-ok (per-process diagnostic record: each process probes its own toolchain)
     _QUARANTINE[backend] = {
         "stage": stage,
         "exc_type": type(exc).__name__,
@@ -101,6 +102,7 @@ def disabled() -> bool:
 def _cached(name: str, probe) -> bool:
     hit = _PROBE_CACHE.get(name)
     if hit is None:
+        # lint: purity-ok (per-process probe memo: a worker re-probes its own interpreter by design)
         hit = _PROBE_CACHE[name] = bool(probe())
     return hit
 
@@ -160,6 +162,7 @@ def _warn_fallback() -> None:
     the documented contract); a backend that *broke* — failed C build,
     import error inside an installed numba — is surfaced.
     """
+    # lint: purity-ok (warn-once latch; warning once per process is the desired behaviour)
     global _WARNED
     if _WARNED or disabled():
         return
@@ -182,10 +185,12 @@ def mark_unavailable(backend: str, exc: BaseException | None = None,
     """Record a backend whose initialisation failed so later resolves
     skip it (a broken C toolchain should degrade, not raise again).
     Pass the exception so the quarantine report can explain why."""
+    # lint: purity-ok (per-process breakage record: the process that saw the failure stops retrying)
     _BROKEN.add(backend)
     if exc is not None:
         record_quarantine(backend, stage, exc)
     elif backend not in _QUARANTINE:
+        # lint: purity-ok (same per-process quarantine record as above)
         _QUARANTINE[backend] = {
             "stage": stage, "exc_type": None,
             "message": "marked unavailable (no exception recorded)",

@@ -20,7 +20,23 @@ R003 hot-loop            no Python for/while on kernel hot paths
 R004 scatter-add         ``np.<ufunc>.at`` only in setup-only code
 R005 telemetry           ``recorder`` defaults to NULL_RECORDER; no
                          direct clocks in kernels; seeded RNG only
+R006 compiled-decls      compiled-backend modules declare their numpy
+                         oracle map and fallback contract
+R007 shm-header-schema   ``_H_*`` slots have unique offsets; the
+                         coordinator-written set matches the
+                         worker-read set
+R008 worker-purity       functions reachable from worker entry points
+                         do not write module state, open fork-unsafe
+                         resources, or use unseeded RNG/clocks
+R009 chunk-writes        ``run_chunks`` kernels only write slices
+                         derived from their chunk arguments
 == =================== ===============================================
+
+R007/R008 are *interprocedural*: per-module facts
+(:mod:`repro.lint.facts`) feed a project call graph
+(:mod:`repro.lint.callgraph`) whose worker-entry reachability decides
+which code runs inside forked workers.  A content-hash per-file cache
+(:mod:`repro.lint.cache`, ``--cache``) keeps the heavier pass fast.
 
 Run ``python -m repro.lint src/`` (see ``--help``); annotate deliberate
 exceptions with ``# lint:`` pragmas (:mod:`repro.lint.model`); register
@@ -29,12 +45,15 @@ new rules in :mod:`repro.lint.rules`.
 
 from repro.lint.baseline import (filter_findings, load_baseline,
                                  write_baseline)
-from repro.lint.engine import collect_test_names, discover_files, run_lint
+from repro.lint.engine import (LintResult, collect_test_names,
+                               discover_files, run_lint, run_lint_ex)
 from repro.lint.model import Finding, ModuleInfo, parse_module
-from repro.lint.registry import ProjectInfo, Rule, all_rules, rule
+from repro.lint.registry import (ProjectInfo, Rule, all_rules,
+                                 known_rule_ids, rule)
 
 __all__ = [
-    "Finding", "ModuleInfo", "ProjectInfo", "Rule", "all_rules",
-    "collect_test_names", "discover_files", "filter_findings",
-    "load_baseline", "parse_module", "rule", "run_lint", "write_baseline",
+    "Finding", "LintResult", "ModuleInfo", "ProjectInfo", "Rule",
+    "all_rules", "collect_test_names", "discover_files", "filter_findings",
+    "known_rule_ids", "load_baseline", "parse_module", "rule", "run_lint",
+    "run_lint_ex", "write_baseline",
 ]

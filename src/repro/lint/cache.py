@@ -1,0 +1,140 @@
+"""Content-hash per-file analysis cache.
+
+The interprocedural pass made reprolint do strictly more work per file
+(parse, fact extraction, then a project-wide graph pass), so repeat
+runs cache the *per-file* products — module-scope findings plus the
+serialized :class:`~repro.lint.facts.ModuleFacts` — keyed by
+``sha1(rel_path + file_content)``.  Project-scope rules (R001, R007,
+R008) then run over the restored facts without touching the AST, which
+is what makes caching sound for them: their inputs are exactly the
+facts, and the facts are part of the cached value.
+
+The cache is versioned by a hash of the lint package's own source, so
+editing any rule or the extractor invalidates every entry wholesale —
+no stale-finding hazard from analyzer changes.  Entries also record the
+select-set they were computed under, because a run with ``--select
+R003`` caches fewer module findings than a full run.
+
+On-disk layout (default ``.reprolint_cache/`` next to the cwd)::
+
+    .reprolint_cache/
+      <analysis_version>.json     one JSON object: key -> entry
+
+Corrupt or unreadable cache files are treated as empty — the cache can
+only ever trade time, never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.lint.facts import ModuleFacts
+from repro.lint.model import Finding
+
+__all__ = ["AnalysisCache", "analysis_version", "content_key"]
+
+_VERSION_CACHE: str | None = None
+
+
+def analysis_version() -> str:
+    """Hash of every ``repro.lint`` source file (analyzer identity)."""
+    global _VERSION_CACHE
+    if _VERSION_CACHE is None:
+        pkg = Path(__file__).resolve().parent
+        h = hashlib.sha1()
+        for p in sorted(pkg.rglob("*.py")):
+            h.update(p.relative_to(pkg).as_posix().encode())
+            try:
+                h.update(p.read_bytes())
+            except OSError:
+                h.update(b"<unreadable>")
+        _VERSION_CACHE = h.hexdigest()[:16]
+    return _VERSION_CACHE
+
+
+def content_key(rel: str, source: str) -> str:
+    return hashlib.sha1(f"{rel}\x00{source}".encode()).hexdigest()
+
+
+class AnalysisCache:
+    """Load-once / save-once JSON cache with hit/miss counters."""
+
+    def __init__(self, cache_dir: str | Path | None,
+                 select_tag: str = "all") -> None:
+        self.enabled = cache_dir is not None
+        self.dir = Path(cache_dir) if cache_dir is not None else None
+        self.select_tag = select_tag
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        if self.enabled:
+            self._load()
+
+    @property
+    def path(self) -> Path | None:
+        if self.dir is None:
+            return None
+        return self.dir / f"{analysis_version()}.json"
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                data = json.load(fh)
+            if isinstance(data, dict):
+                self._entries = data
+        except (OSError, ValueError):
+            self._entries = {}
+
+    def get(self, rel: str, source: str) -> tuple[ModuleFacts,
+                                                  list[Finding]] | None:
+        """Restored (facts, module-scope findings) or None on miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        entry = self._entries.get(content_key(rel, source))
+        if entry is None or entry.get("select") != self.select_tag:
+            self.misses += 1
+            return None
+        try:
+            facts = ModuleFacts.from_dict(entry["facts"])
+            findings = [Finding.from_dict(d) for d in entry["findings"]]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return facts, findings
+
+    def put(self, rel: str, source: str, facts: ModuleFacts,
+            findings: list[Finding]) -> None:
+        if not self.enabled:
+            return
+        self._entries[content_key(rel, source)] = {
+            "select": self.select_tag,
+            "facts": facts.to_dict(),
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self.enabled or not self._dirty:
+            return
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(".tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(self._entries, fh, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            pass        # a cache that cannot persist is just a slow cache
+
+    def stats(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "hits": self.hits,
+            "misses": self.misses,
+            "analysis_version": analysis_version(),
+        }

@@ -13,9 +13,9 @@ from typing import Sequence
 
 from repro.lint.baseline import (filter_findings, load_baseline,
                                  write_baseline)
-from repro.lint.engine import run_lint
+from repro.lint.engine import run_lint_ex
 from repro.lint.model import Finding
-from repro.lint.registry import all_rules
+from repro.lint.registry import all_rules, known_rule_ids
 
 __all__ = ["main", "render_text", "render_json"]
 
@@ -38,15 +38,18 @@ def render_text(findings: list[Finding], suppressed: int) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: list[Finding], suppressed: int) -> str:
+def render_json(findings: list[Finding], suppressed: int,
+                cache_stats: dict | None = None) -> str:
     by_rule: dict[str, int] = {}
     for f in findings:
         by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
     doc = {
-        "schema_version": 1,
+        "schema_version": 2,
         "findings": [f.to_dict() for f in findings],
         "counts": dict(sorted(by_rule.items())),
         "baseline_suppressed": suppressed,
+        "cache": cache_stats if cache_stats is not None
+        else {"enabled": False, "hits": 0, "misses": 0},
     }
     return json.dumps(doc, indent=2)
 
@@ -56,7 +59,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description="reprolint: AST checks for this repo's kernel "
                     "contracts (oracle pairing, dtype discipline, "
-                    "hot-loop/scatter bans, telemetry no-op defaults).")
+                    "hot-loop/scatter bans, telemetry no-op defaults, "
+                    "parallel-safety: shm header schema, worker purity, "
+                    "chunk-disjoint writes).")
     ap.add_argument("paths", nargs="*", default=["src"],
                     help="files or directories to lint (default: src)")
     ap.add_argument("--format", choices=("text", "json"), default="text",
@@ -71,7 +76,14 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="test tree for R001's cross-reference "
                          "(default: tests; missing dir relaxes the check)")
     ap.add_argument("--select", metavar="IDS",
-                    help="comma-separated rule ids to run (e.g. R002,R004)")
+                    help="comma-separated rule ids to run (e.g. R002,R004); "
+                         "unknown ids are a usage error (exit 2)")
+    ap.add_argument("--cache", metavar="DIR", nargs="?",
+                    const=".reprolint_cache", default=None,
+                    help="content-hash analysis cache directory (bare "
+                         "--cache uses .reprolint_cache); off by default")
+    ap.add_argument("--jobs", metavar="N", type=int, default=None,
+                    help="per-file analysis parallelism (default: auto)")
     ap.add_argument("--list-rules", action="store_true",
                     help="print the rule registry and exit")
     return ap
@@ -88,8 +100,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     select = None
     if args.select:
         select = {s.strip() for s in args.select.split(",") if s.strip()}
+        known = set(known_rule_ids())
+        unknown = sorted(select - known)
+        if unknown:
+            print(f"reprolint: unknown rule id"
+                  f"{'s' if len(unknown) != 1 else ''} in --select: "
+                  f"{', '.join(unknown)} (known: "
+                  f"{', '.join(sorted(known))})", file=sys.stderr)
+            return 2
 
-    findings = run_lint(args.paths, tests_dir=args.tests, select=select)
+    result = run_lint_ex(args.paths, tests_dir=args.tests, select=select,
+                         cache_dir=args.cache, jobs=args.jobs)
+    findings = result.findings
 
     if args.write_baseline:
         write_baseline(args.write_baseline, findings)
@@ -109,6 +131,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         suppressed = len(findings) - len(kept)
         findings = kept
 
-    render = render_json if args.format == "json" else render_text
-    print(render(findings, suppressed))
+    if args.format == "json":
+        print(render_json(findings, suppressed, result.cache_stats))
+    else:
+        print(render_text(findings, suppressed))
     return 1 if findings else 0

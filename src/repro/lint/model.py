@@ -12,8 +12,8 @@ A *pragma* is an in-source annotation comment::
     # lint: setup (construction-only module: scatter-adds allowed)
     np.add.at(indptr, rows + 1, 1)   # lint: scatter-ok (CSR build)
 
-Module markers (``kernel`` / ``setup`` / ``worker``) classify the
-whole file; the
+Module markers (``kernel`` / ``setup`` / ``worker`` / ``compiled`` /
+``clock``) classify the whole file; the
 ``*-ok`` tokens suppress one rule on one statement, either at the end
 of the statement's first line or on a comment-only line immediately
 above it.  Every pragma should carry a parenthesised justification —
@@ -43,6 +43,9 @@ SUPPRESS_TOKENS = {
     "scatter-ok": "R004",
     "telemetry-ok": "R005",
     "compiled-ok": "R006",
+    "header-ok": "R007",
+    "purity-ok": "R008",
+    "chunkwrite-ok": "R009",
 }
 
 #: Module-classification tokens.  ``worker`` is a kernel module that
@@ -54,7 +57,11 @@ SUPPRESS_TOKENS = {
 #: its loops are the compiled implementation, not Python hot paths —
 #: but R006 requires the module to declare its numpy oracle map
 #: (``__oracles__``) and fallback contract (``__fallback__``).
-MODULE_TOKENS = frozenset({"kernel", "setup", "worker", "compiled"})
+#: ``clock`` marks the repo's single timing authority (the telemetry
+#: timer module): R005/R008 allow direct wall-clock reads there —
+#: every other module must route timing through it.
+MODULE_TOKENS = frozenset({"kernel", "setup", "worker", "compiled",
+                           "clock"})
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*(?P<body>[^#]*)")
 _TOKEN_RE = re.compile(r"^[a-z][a-z0-9-]*$")
@@ -131,6 +138,10 @@ class ModuleInfo:
     def is_setup(self) -> bool:
         return self.kind == "setup"
 
+    @property
+    def is_clock(self) -> bool:
+        return self.kind == "clock"
+
     def line_text(self, line: int) -> str:
         if 1 <= line <= len(self.lines):
             return self.lines[line - 1]
@@ -187,15 +198,23 @@ def _parse_pragma_body(body: str) -> tuple[list[str], str]:
     return tokens, justification
 
 
-def parse_module(path: Path, rel: str | None = None) -> ModuleInfo:
-    """Read, tokenize, and AST-parse one module."""
+def parse_module(path: Path, rel: str | None = None,
+                 source: str | None = None) -> ModuleInfo:
+    """Read, tokenize, and AST-parse one module.
+
+    Pass ``source`` to skip the filesystem read (the engine reads each
+    file once up front for cache keying and hands the text through).
+    """
     rel = rel if rel is not None else str(path)
     mod = ModuleInfo(path=path, rel=rel.replace("\\", "/"))
-    try:
-        mod.source = path.read_text(encoding="utf-8")
-    except OSError as exc:
-        mod.syntax_error = f"unreadable: {exc}"
-        return mod
+    if source is not None:
+        mod.source = source
+    else:
+        try:
+            mod.source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            mod.syntax_error = f"unreadable: {exc}"
+            return mod
     mod.lines = mod.source.splitlines()
     try:
         mod.tree = ast.parse(mod.source, filename=str(path))

@@ -12,6 +12,10 @@ from repro.lint.rules import (  # noqa: F401
     scatter,
     telemetry,
     compiled,
+    shmheader,
+    purity,
+    chunkwrites,
 )
 
-__all__ = ["oracle", "dtype", "hotloop", "scatter", "telemetry", "compiled"]
+__all__ = ["oracle", "dtype", "hotloop", "scatter", "telemetry", "compiled",
+           "shmheader", "purity", "chunkwrites"]

@@ -1,0 +1,163 @@
+"""R009 — chunk-disjoint-writes.
+
+The thread-team executor (:func:`repro.parallel.threads.run_chunks`)
+runs one kernel closure per contiguous ``(lo, hi)`` chunk concurrently.
+The determinism/bitwise contract of every threaded kernel rests on one
+property: **a chunk closure only writes array slices derived from its
+own chunk arguments** — then chunk writes are disjoint by construction
+and the output is independent of scheduling order.
+
+This rule checks exactly that, per module: for every function passed to
+a call named ``run_chunks`` (the canonical entry point — team helpers
+that forward it keep the name, e.g. ``chunks, run_chunks = team``), a
+conservative taint pass marks the closure's parameters and everything
+data-flow-derived from them (``r0, r1`` rebasing, ``rr = chunks[c]``
+row lookups, ``searchsorted`` results) as chunk-derived.  Any subscript
+*store* to a captured (non-local) array whose index expression uses no
+chunk-derived name is flagged: indexing with a constant, a captured
+variable, or a full slice writes rows another chunk may also write.
+
+Writes to arrays created inside the closure are private and exempt.
+Suppress a deliberate overlapping write (e.g. an intentionally
+redundant halo update) with ``# lint: chunkwrite-ok (reason)`` on the
+write.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import attr_chain
+from repro.lint.model import ModuleInfo
+from repro.lint.registry import Rule, rule
+
+__all__ = ["ChunkDisjointWrites"]
+
+
+def _param_names(fdef) -> list[str]:
+    a = fdef.args
+    names = [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+    if a.vararg:
+        names.append(a.vararg.arg)
+    if a.kwarg:
+        names.append(a.kwarg.arg)
+    return names
+
+
+def _target_names(t: ast.expr) -> list[str]:
+    if isinstance(t, ast.Name):
+        return [t.id]
+    if isinstance(t, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for e in t.elts:
+            out.extend(_target_names(e))
+        return out
+    if isinstance(t, ast.Starred):
+        return _target_names(t.value)
+    return []
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+@rule
+class ChunkDisjointWrites(Rule):
+    id = "R009"
+    name = "chunk-disjoint-writes"
+    summary = ("kernels invoked via run_chunks only write array slices "
+               "derived from their chunk arguments")
+
+    def check_module(self, module: ModuleInfo):
+        if module.tree is None:
+            return
+        defs: dict[str, list] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs.setdefault(node.name, []).append(node)
+
+        counts: dict = {}
+        seen: set[int] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None or chain[-1] != "run_chunks":
+                continue
+            if not node.args or not isinstance(node.args[0], ast.Name):
+                continue
+            for fdef in defs.get(node.args[0].id, ()):
+                if id(fdef) in seen:
+                    continue
+                seen.add(id(fdef))
+                yield from self._check_chunk_fn(module, fdef, counts)
+
+    def _check_chunk_fn(self, module: ModuleInfo, fdef, counts: dict):
+        params = _param_names(fdef)
+        tainted = set(params)
+        local = set(params)
+
+        # Names bound inside the closure are local (writes through them
+        # hit closure-private arrays unless they shadow nothing — a
+        # conservative choice: locally *created* arrays are private).
+        for n in ast.walk(fdef):
+            if isinstance(n, ast.Assign):
+                for t in n.targets:
+                    local.update(_target_names(t))
+            elif isinstance(n, (ast.AnnAssign, ast.AugAssign)):
+                local.update(_target_names(n.target))
+            elif isinstance(n, (ast.For, ast.AsyncFor)):
+                local.update(_target_names(n.target))
+            elif isinstance(n, (ast.With, ast.AsyncWith)):
+                for item in n.items:
+                    if item.optional_vars is not None:
+                        local.update(_target_names(item.optional_vars))
+
+        # Taint fixpoint: anything assigned from a chunk-derived
+        # expression is chunk-derived.
+        changed = True
+        while changed:
+            changed = False
+            for n in ast.walk(fdef):
+                value = None
+                targets: list = []
+                if isinstance(n, ast.Assign):
+                    value, targets = n.value, n.targets
+                elif isinstance(n, ast.AnnAssign) and n.value is not None:
+                    value, targets = n.value, [n.target]
+                elif isinstance(n, (ast.For, ast.AsyncFor)):
+                    value, targets = n.iter, [n.target]
+                if value is None or not (_names_in(value) & tainted):
+                    continue
+                for t in targets:
+                    for name in _target_names(t):
+                        if name not in tainted:
+                            tainted.add(name)
+                            changed = True
+
+        # Subscript stores on captured arrays need a tainted index.
+        for n in ast.walk(fdef):
+            if isinstance(n, ast.Assign):
+                targets = n.targets
+            elif isinstance(n, (ast.AugAssign, ast.AnnAssign)):
+                targets = [n.target]
+            else:
+                continue
+            for t in targets:
+                if not isinstance(t, ast.Subscript):
+                    continue
+                base = t.value
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if not isinstance(base, ast.Name) or base.id in local:
+                    continue
+                if _names_in(t.slice) & tainted:
+                    continue
+                if module.suppressed(self.id, n.lineno):
+                    continue
+                yield module.finding(
+                    self.id, n.lineno, n.col_offset,
+                    f"chunk kernel '{fdef.name}' writes captured array "
+                    f"'{base.id}' with an index not derived from its "
+                    f"chunk arguments {params[:2]} — concurrent chunks "
+                    f"may write the same rows", counts)

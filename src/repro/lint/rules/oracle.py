@@ -13,14 +13,17 @@ equivalence claim nobody checks.  For every public top-level
 
 Underscore-private ``_helper_ref`` functions are internal details of a
 reference implementation, not public oracles, and are exempt.
+
+Project-scope: the rule runs entirely over the per-module facts
+(``top_defs`` + the pragma/fingerprint tables), so cache-restored files
+participate without re-parsing.
 """
 
 from __future__ import annotations
 
 from pathlib import PurePosixPath
 
-from repro.lint.astutil import top_level_defs
-from repro.lint.model import  ModuleInfo
+from repro.lint.facts import ModuleFacts
 from repro.lint.registry import ProjectInfo, Rule, rule
 
 __all__ = ["OraclePairing"]
@@ -32,31 +35,28 @@ class OraclePairing(Rule):
     name = "oracle-pairing"
     summary = ("every public *_ref oracle has a same-package fast twin "
                "and both are exercised by tests")
-
-    def __init__(self) -> None:
-        # package dir -> {function name -> (module, lineno)}
-        self._defs: dict[str, dict[str, tuple[ModuleInfo, int]]] = {}
-        self._counts: dict[str, dict] = {}       # module.rel -> occurrences
-
-    def check_module(self, module: ModuleInfo):
-        pkg = str(PurePosixPath(module.rel).parent)
-        bucket = self._defs.setdefault(pkg, {})
-        for name, node in top_level_defs(module.tree).items():
-            bucket.setdefault(name, (module, node.lineno))
-        self._counts[module.rel] = {}
-        return ()
+    scope = "project"
 
     def finalize(self, project: ProjectInfo):
-        for pkg, defs in sorted(self._defs.items()):
-            for name, (module, lineno) in sorted(defs.items()):
+        # package dir -> {function name -> (facts, lineno)}
+        defs: dict[str, dict[str, tuple[ModuleFacts, int]]] = {}
+        for mf in project.facts:
+            pkg = str(PurePosixPath(mf.rel).parent)
+            bucket = defs.setdefault(pkg, {})
+            for name, lineno in mf.top_defs.items():
+                bucket.setdefault(name, (mf, lineno))
+
+        counts_by_rel: dict[str, dict] = {}
+        for pkg, bucket in sorted(defs.items()):
+            for name, (mf, lineno) in sorted(bucket.items()):
                 if not name.endswith("_ref") or name.startswith("_"):
                     continue
-                if module.suppressed(self.id, lineno):
+                if mf.suppressed(self.id, lineno):
                     continue
                 twin = name[: -len("_ref")]
-                counts = self._counts[module.rel]
-                if twin not in defs:
-                    yield module.finding(
+                counts = counts_by_rel.setdefault(mf.rel, {})
+                if twin not in bucket:
+                    yield mf.finding(
                         self.id, lineno, 0,
                         f"oracle '{name}' has no fast twin '{twin}' in "
                         f"package '{pkg}' — vectorise it or fold the "
@@ -67,7 +67,7 @@ class OraclePairing(Rule):
                 missing = [n for n in (name, twin)
                            if n not in project.test_names]
                 if missing:
-                    yield module.finding(
+                    yield mf.finding(
                         self.id, lineno, 0,
                         f"oracle pair ('{name}', '{twin}') is not "
                         f"exercised by any test module (missing: "

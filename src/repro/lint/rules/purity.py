@@ -1,0 +1,107 @@
+"""R008 — worker-context-purity.
+
+Code that executes inside forked worker processes (the ProcPool rank
+workers, ``register_at_fork`` handlers) lives in a different world from
+the coordinator: module-level state is a private copy-on-write
+snapshot, fork-unsafe resources (thread pools, process handles,
+write-mode files) misbehave across the ``fork`` boundary, and unseeded
+RNG / direct clock reads break the determinism and single-clock
+contracts the equivalence tests rely on.
+
+R005 polices clocks per-module by marker; this rule generalizes the
+carve-out to *real reachability*: the project call graph is walked from
+every worker entry point (``Process(target=...)``,
+``os.register_at_fork(after_in_child=...)``), and every reachable
+function is checked for
+
+* module-level state writes (``global`` rebinds, mutations of
+  module-level containers) — each fork gets a private copy, so such
+  writes silently diverge from the coordinator's view;
+* fork-unsafe resource acquisition (``ThreadPoolExecutor``, ``Thread``,
+  ``Process``, locks/semaphores, ``SharedMemory(create=True)``,
+  ``subprocess``, write-mode ``open``);
+* unseeded RNG (legacy ``np.random.*``, stdlib ``random``) and direct
+  clock reads (``time.perf_counter`` & co).
+
+Exemptions mirror the runtime's documented contracts: modules marked
+``# lint: worker`` may read clocks (worker-side telemetry must clock
+locally), and the module marked ``# lint: clock`` *is* the single
+timing authority.  Deliberate, fork-aware state (per-process caches
+rebuilt after fork, the thread-pool table that ``register_at_fork``
+clears) is annotated in place with ``# lint: purity-ok (reason)``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.registry import ProjectInfo, Rule, rule
+
+__all__ = ["WorkerContextPurity"]
+
+_WHY = {
+    "global-rebind": ("worker processes hold a private copy-on-write "
+                      "snapshot of module state; the rebind never "
+                      "reaches the coordinator"),
+    "module-mutation": ("worker processes hold a private copy-on-write "
+                        "snapshot of module state; the mutation "
+                        "silently diverges from the coordinator's view"),
+    "clock": ("kernels reachable from worker entries must time through "
+              "repro.perf.timers / the worker recorder so traces keep "
+              "one clock"),
+    "rng": ("unseeded randomness in a worker breaks run determinism "
+            "and the seq/proc bitwise contract"),
+    "resource": ("fork-unsafe resource acquired on a worker path — "
+                 "handles and threads do not survive fork boundaries"),
+}
+
+
+@rule
+class WorkerContextPurity(Rule):
+    id = "R008"
+    name = "worker-context-purity"
+    summary = ("functions reachable from worker entry points do not "
+               "write module state, open fork-unsafe resources, or use "
+               "unseeded RNG/clocks")
+    scope = "project"
+
+    def finalize(self, project: ProjectInfo):
+        cg = project.callgraph
+        facts_by_mod = {mf.module_name: mf for mf in project.facts}
+        counts_by_rel: dict[str, dict] = {}
+        for node in sorted(cg.worker_reachable()):
+            mod, qual = node
+            mf = facts_by_mod.get(mod)
+            fn = cg.function(node)
+            if mf is None or fn is None or not fn.impurities:
+                continue
+            counts = counts_by_rel.setdefault(mf.rel, {})
+            for kind, detail, line, col in fn.impurities:
+                if kind == "clock" and mf.kind in ("worker", "clock"):
+                    continue
+                if mf.suppressed(self.id, line):
+                    continue
+                via = self._entry_of(cg, node)
+                yield mf.finding(
+                    self.id, line, col,
+                    f"'{qual}' is reachable from worker entry "
+                    f"'{via}' and {self._what(kind, detail)} — "
+                    f"{_WHY[kind]}", counts)
+
+    @staticmethod
+    def _what(kind: str, detail: str) -> str:
+        if kind == "global-rebind":
+            return detail            # "rebinds module-level 'X'"
+        if kind == "module-mutation":
+            return detail
+        if kind == "clock":
+            return f"reads the clock via {detail}"
+        if kind == "rng":
+            return f"draws unseeded randomness via {detail}"
+        return f"acquires {detail}"
+
+    @staticmethod
+    def _entry_of(cg, node) -> str:
+        paths = cg.call_paths_to(node, limit=1)
+        if paths:
+            mod, qual = paths[0][0]
+            return f"{mod}.{qual}"
+        return "<worker entry>"

@@ -1,0 +1,119 @@
+"""R007 — shm-header-schema.
+
+The ProcPool coordinator and its forked workers communicate through a
+fixed table of int64 header slots in shared memory
+(:mod:`repro.parallel.procpool`'s ``_H_*`` constants).  The protocol is
+only sound when both sides agree on the schema:
+
+* every ``_H_*`` slot has a **unique offset** inside ``_HDR_SLOTS`` —
+  two slots sharing an offset silently alias each other's values;
+* the set of slots **written on coordinator paths** matches the set
+  **read on worker paths** — a coordinator-written slot no worker reads
+  is a dead (or mis-schemed) field, and a worker-read slot the
+  coordinator never writes is read-of-garbage.
+
+Worker vs coordinator attribution is real reachability: a function is
+worker-side iff the project call graph reaches it from a worker entry
+point (``Process(target=...)`` / ``register_at_fork``).  Ack slots that
+workers themselves also write (``_H_ERR``: coordinator resets it,
+workers raise it, the coordinator reads it back) are exempt from the
+"never read by a worker" direction — they are worker-owned response
+fields, not commands.
+
+The matching check only engages for modules where some header slot is
+actually touched on a worker-reachable path; a module that merely
+*defines* ``_H_*`` constants (or whose worker entries never read the
+header) gets the uniqueness/range checks alone.  Suppress a deliberate
+exception with ``# lint: header-ok (reason)`` on the slot's definition
+line.
+"""
+
+from __future__ import annotations
+
+from repro.lint.registry import ProjectInfo, Rule, rule
+
+__all__ = ["ShmHeaderSchema"]
+
+
+@rule
+class ShmHeaderSchema(Rule):
+    id = "R007"
+    name = "shm-header-schema"
+    summary = ("_H_* header slots have unique offsets and "
+               "coordinator-written slots match worker-read slots")
+    scope = "project"
+
+    def finalize(self, project: ProjectInfo):
+        cg = project.callgraph
+        worker_nodes = cg.worker_reachable()
+        for mf in project.facts:
+            if not mf.hdr_consts:
+                continue
+            counts: dict = {}
+
+            # Offset uniqueness + range, in definition order.
+            slots = sorted(mf.hdr_consts,
+                           key=lambda s: mf.hdr_const_lines.get(s, 0))
+            by_offset: dict[int, str] = {}
+            for slot in slots:
+                off = mf.hdr_consts[slot]
+                line = mf.hdr_const_lines.get(slot, 1)
+                prior = by_offset.get(off)
+                if prior is not None:
+                    if not mf.suppressed(self.id, line):
+                        yield mf.finding(
+                            self.id, line, 0,
+                            f"header slot '{slot}' reuses offset {off} "
+                            f"already taken by '{prior}' — the two fields "
+                            f"alias the same shared-memory cell", counts)
+                else:
+                    by_offset[off] = slot
+                if mf.hdr_slots is not None \
+                        and not 0 <= off < mf.hdr_slots \
+                        and not mf.suppressed(self.id, line):
+                    yield mf.finding(
+                        self.id, line, 0,
+                        f"header slot '{slot}' offset {off} is outside "
+                        f"the allocated table [0, {mf.hdr_slots}) — "
+                        f"reads/writes land past the header region",
+                        counts)
+
+            # Coordinator-written vs worker-read partition.
+            worker_quals = {qual for (mod, qual) in worker_nodes
+                            if mod == mf.module_name}
+            coord_writes: set[str] = set()
+            worker_reads: set[str] = set()
+            worker_writes: set[str] = set()
+            worker_touches = False
+            for qual, fn in mf.functions.items():
+                reads = {s for s, _l, _c in fn.slot_reads}
+                writes = {s for s, _l, _c in fn.slot_writes}
+                if qual in worker_quals:
+                    worker_reads |= reads
+                    worker_writes |= writes
+                    worker_touches |= bool(reads or writes)
+                else:
+                    coord_writes |= writes
+            if not worker_touches:
+                continue
+            for slot in slots:
+                line = mf.hdr_const_lines.get(slot, 1)
+                if mf.suppressed(self.id, line):
+                    continue
+                known = slot in mf.hdr_consts
+                if not known:
+                    continue
+                if slot in coord_writes and slot not in worker_reads \
+                        and slot not in worker_writes:
+                    yield mf.finding(
+                        self.id, line, 0,
+                        f"header slot '{slot}' is written on coordinator "
+                        f"paths but never read on any worker path — dead "
+                        f"field or schema drift between the two sides",
+                        counts)
+                if slot in worker_reads and slot not in coord_writes:
+                    yield mf.finding(
+                        self.id, line, 0,
+                        f"header slot '{slot}' is read on worker paths "
+                        f"but never written on any coordinator path — "
+                        f"workers would consume an unset cell", counts)

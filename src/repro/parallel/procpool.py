@@ -72,6 +72,9 @@ from repro.parallel.spmd import (GhostExchange, SPMDLayout, rank_matvec,
                                  rank_matvec_dedup, rank_matvec_structs,
                                  rank_residual)
 from repro.parallel.threads import resolve_threads
+from repro.sanitize.header import check_header_echo, mask_of, track_slots
+from repro.sanitize.writes import WriteSanitizer
+from repro.sanitize.writes import enabled as _sanitize_enabled
 from repro.sparse.dedup import DedupBSR
 from repro.telemetry.recorder import NULL_RECORDER, NullRecorder, \
     TraceRecorder
@@ -97,7 +100,12 @@ _H_MAT_ENGINE = 9  # kernel tier of the matrix (0 numpy, 1 compiled)
 _H_THREADS = 10    # intra-rank thread-team size of the current command
 _H_MAT_NUNIQ = 11  # unique-block count of a deduplicated matrix
 _H_MAT_DEDUP = 12  # 1 -> the matrix being loaded is a DedupBSR
+_H_SAN_ECHO = 15   # sanitize only: workers echo their read-slot mask
 _HDR_SLOTS = 16
+
+#: slot index -> name, for sanitizer diagnostics
+_SLOT_NAMES = {v: k for k, v in list(globals().items())
+               if k.startswith("_H_") and isinstance(v, int)}
 
 _OP_SHUTDOWN = 0
 _OP_RESIDUAL = 1
@@ -223,6 +231,21 @@ class ProcPool:
 
         self._precompute()
         self._create_arena()
+        self._san_hdr = None
+        if _sanitize_enabled():
+            # Partition verify: every vertex owned by exactly one rank
+            # (the runtime counterpart of the layout's write-disjointness
+            # contract — an overlap here is a race on the output rows).
+            san = WriteSanitizer("procpool owned-row partition")
+            # lint: loop-ok (one claim set per rank; debug-only path)
+            for rd in layout.ranks:
+                san.claim_indices(("rank", rd.rank), rd.owned,
+                                  key="owned-rows")
+            san.require_cover(0, self.n, key="owned-rows")
+            # Header echo: record every slot the coordinator ever
+            # writes (installed after the arena zero-fill, so only
+            # protocol writes count); workers echo their read masks.
+            self._san_hdr = self._hdr = track_slots(self._hdr)
         # Crash-path segment guard: everything the pool creates is
         # registered here; the finalizer unlinks whatever close()
         # never got to (idempotent — close() invokes it too).
@@ -390,6 +413,13 @@ class ProcPool:
             self._drain_done()
         if hdr[_H_ERR] and op != _OP_COLLECT:
             raise ProcPoolError(self._drain_errors())
+        if self._san_hdr is not None:
+            # Workers echoed the slots this op actually read; every one
+            # of them must have been written by the coordinator at some
+            # point (matrix descriptor slots persist across ops).
+            check_header_echo(
+                mask_of(self._san_hdr.writes, exclude=(_H_SAN_ECHO,)),
+                int(hdr[_H_SAN_ECHO]), _SLOT_NAMES)
 
     def _drain_errors(self) -> str:
         msgs = []
@@ -645,10 +675,19 @@ class ProcPool:
         done = self._done[wid]
         rec = TraceRecorder()
         state = {"token": 0, "cache": {}, "ws": {}, "engine": "numpy"}
+        hdr_raw = np.asarray(self._hdr)
+        tracker = None
+        if _sanitize_enabled():
+            # Fresh tracker in this process (the fork-inherited one
+            # holds the coordinator's write set): record which header
+            # slots this worker actually reads, echo the mask back.
+            tracker = self._hdr = track_slots(hdr_raw)
         try:
             # lint: loop-ok (worker command loop, one pass per op)
             while True:
                 go.acquire()
+                if tracker is not None:
+                    tracker.reads.clear()
                 op = int(self._hdr[_H_OP])
                 if op == _OP_SHUTDOWN:
                     break
@@ -673,6 +712,9 @@ class ProcPool:
                     self._hdr[_H_ERR] = 1
                     self._res_q.put(("error", wid,
                                      traceback.format_exc()))
+                if tracker is not None:
+                    hdr_raw[_H_SAN_ECHO] = mask_of(
+                        tracker.reads, exclude=(_H_SAN_ECHO,))
                 done.release()
                 if record and op in (_OP_RESIDUAL, _OP_MATVEC):
                     # Wait-accounting round (same membership rule as
@@ -684,6 +726,9 @@ class ProcPool:
                         self._hdr[_H_ERR] = 1
                         self._res_q.put(("error", wid,
                                          traceback.format_exc()))
+                    if tracker is not None:
+                        hdr_raw[_H_SAN_ECHO] = mask_of(
+                            tracker.reads, exclude=(_H_SAN_ECHO,))
                     done.release()
         finally:
             self._release_views()

@@ -44,6 +44,7 @@ import numpy as np
 from repro import kernels as _kernels
 from repro.euler.discretization import EdgeFVDiscretization
 from repro.parallel.threads import chunk_ranges, resolve_threads, run_chunks
+from repro.sanitize.statehash import note as _sanitize_note
 from repro.sparse.bsr import BSRMatrix
 from repro.sparse.dedup import DedupBSR, widen_pool
 from repro.sparse.segsum import concat_ranges, segment_sum
@@ -569,8 +570,10 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
     if pool is not None:
         ex = exchange or GhostExchange(layout, ncomp, recorder=rec,
                                        executor="proc")
-        return pool.residual(qglobal, exchange=ex, recorder=rec,
-                             threads=threads)
+        r = pool.residual(qglobal, exchange=ex, recorder=rec,
+                          threads=threads)
+        _sanitize_note("residual", r)
+        return r
     ex = exchange or GhostExchange(layout, ncomp, recorder=rec)
     local_q = _scatter_local_state(layout, qglobal, ncomp)
     ex.refresh(local_q)
@@ -585,7 +588,9 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
             out[rd.owned] = r_local[: rd.n_owned]
         per_rank_s[rd.rank] = sp.elapsed
     rec.record_wait("flux", per_rank_s)
-    return out.ravel()
+    r = out.ravel()
+    _sanitize_note("residual", r)
+    return r
 
 
 def distributed_matvec(a: BSRMatrix | DedupBSR, layout: SPMDLayout,
@@ -615,8 +620,10 @@ def distributed_matvec(a: BSRMatrix | DedupBSR, layout: SPMDLayout,
     if pool is not None:
         ex = exchange or GhostExchange(layout, bs, recorder=rec,
                                        executor="proc")
-        return pool.matvec(a, xglobal, exchange=ex, recorder=rec,
-                           threads=threads)
+        y = pool.matvec(a, xglobal, exchange=ex, recorder=rec,
+                        threads=threads)
+        _sanitize_note("matvec", y)
+        return y
     ex = exchange or GhostExchange(layout, bs, recorder=rec)
     local_x = _scatter_local_state(layout, xglobal, bs)
     ex.refresh(local_x)
@@ -639,7 +646,9 @@ def distributed_matvec(a: BSRMatrix | DedupBSR, layout: SPMDLayout,
                                           engine=a.engine, threads=threads)
         per_rank_s[rd.rank] = sp.elapsed
     rec.record_wait("matvec", per_rank_s)
-    return y.ravel()
+    yflat = y.ravel()
+    _sanitize_note("matvec", yflat)
+    return yflat
 
 
 def distributed_dot(layout: SPMDLayout, xglobal: np.ndarray,
@@ -665,4 +674,5 @@ def distributed_dot(layout: SPMDLayout, xglobal: np.ndarray,
                         for rd in layout.ranks]
         result = tree_reduce_sum(partials)   # the allreduce
     rec.count("reductions", 1)
+    _sanitize_note("dot", np.array([result], dtype=np.float64))
     return result

@@ -27,6 +27,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.sanitize.writes import enabled as _sanitize_enabled
+
 __all__ = ["resolve_threads", "chunk_ranges", "run_chunks"]
 
 #: team size -> shared executor (lazily built, reused across calls)
@@ -36,6 +38,7 @@ _POOLS: dict[int, ThreadPoolExecutor] = {}
 def _drop_inherited_pools() -> None:
     """After fork, the parent's executor threads do not exist in the
     child; drop the table so the child builds fresh teams on demand."""
+    # lint: purity-ok (this hook exists precisely to reset worker-local state after fork)
     _POOLS.clear()
 
 
@@ -76,8 +79,10 @@ def chunk_ranges(n: int, nchunks: int) -> list[tuple[int, int]]:
 def _team(threads: int) -> ThreadPoolExecutor:
     pool = _POOLS.get(threads)
     if pool is None:
+        # lint: purity-ok (teams are built lazily inside each process after the at-fork hook cleared inherited handles)
         pool = ThreadPoolExecutor(
             max_workers=threads, thread_name_prefix=f"repro-team{threads}")
+        # lint: purity-ok (per-process team memo, see _drop_inherited_pools)
         _POOLS[threads] = pool
     return pool
 
@@ -89,8 +94,39 @@ def run_chunks(fn, chunks: list[tuple[int, int]], threads: int) -> list:
     thread — no executor, no overhead, identical semantics.  Worker
     exceptions propagate to the caller (the first failing chunk's).
     """
+    if _sanitize_enabled():
+        return _run_chunks_sanitized(fn, chunks, threads)
     if threads <= 1 or len(chunks) <= 1:
         return [fn(lo, hi) for lo, hi in chunks]
     pool = _team(threads)
     futures = [pool.submit(fn, lo, hi) for lo, hi in chunks]
+    return [f.result() for f in futures]
+
+
+def _run_chunks_sanitized(fn, chunks: list[tuple[int, int]],
+                          threads: int) -> list:
+    """:func:`run_chunks` under the write sanitizer (REPRO_SANITIZE).
+
+    Opens a fresh ledger region for this parallel section, claims the
+    declared chunk ranges (an overlapping chunk *list* is caught before
+    any kernel runs), and runs each chunk under its owner label so
+    writes through :func:`repro.sanitize.tracked` arrays are attributed
+    and cross-chunk overlaps raise at the offending store.  Scheduling
+    is identical to the uninstrumented path.
+    """
+    from repro.sanitize.writes import GLOBAL, chunk_owner
+    GLOBAL.new_region("run_chunks")
+    # lint: loop-ok (declared-range claims, O(chunks); debug-only path)
+    for c, (lo, hi) in enumerate(chunks):
+        GLOBAL.claim(f"chunk{c}", lo, hi, key="declared-chunks")
+
+    def call(c: int, lo: int, hi: int):
+        with chunk_owner(f"chunk{c}"):
+            return fn(lo, hi)
+
+    if threads <= 1 or len(chunks) <= 1:
+        return [call(c, lo, hi) for c, (lo, hi) in enumerate(chunks)]
+    pool = _team(threads)
+    futures = [pool.submit(call, c, lo, hi)
+               for c, (lo, hi) in enumerate(chunks)]
     return [f.result() for f in futures]

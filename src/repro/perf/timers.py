@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import time
 
+# lint: clock
+
 __all__ = ["Timer", "median"]
 
 

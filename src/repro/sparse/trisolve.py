@@ -183,14 +183,14 @@ def lower_solve_csr(indptr, indices, data, b, levels,
         if team is None:
             x[rows] -= _row_dot(indptr, indices, data, x, rows)
         else:
-            chunks, run = team
+            chunks, run_chunks = team
 
             def solve_chunk(c: int, _unused: int) -> None:
                 rr = chunks[c]
                 x[rr] -= _row_dot(indptr, indices, data, x, rr)
 
-            run(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
-                threads)
+            run_chunks(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
+                       threads)
     return x
 
 
@@ -210,15 +210,15 @@ def upper_solve_csr(indptr, indices, data, inv_diag, b, levels,
             x[rows] = (x[rows] - _row_dot(indptr, indices, data, x, rows)) \
                 * inv_diag[rows].astype(np.float64, copy=False)
         else:
-            chunks, run = team
+            chunks, run_chunks = team
 
             def solve_chunk(c: int, _unused: int) -> None:
                 rr = chunks[c]
                 x[rr] = (x[rr] - _row_dot(indptr, indices, data, x, rr)) \
                     * inv_diag[rr].astype(np.float64, copy=False)
 
-            run(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
-                threads)
+            run_chunks(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
+                       threads)
     return x
 
 
@@ -255,14 +255,14 @@ def lower_solve_blocks(indptr, indices, data, b, levels, bs,
         if team is None:
             x[rows] -= _row_dot_blocks(indptr, indices, data, x, rows, bs)
         else:
-            chunks, run = team
+            chunks, run_chunks = team
 
             def solve_chunk(c: int, _unused: int) -> None:
                 rr = chunks[c]
                 x[rr] -= _row_dot_blocks(indptr, indices, data, x, rr, bs)
 
-            run(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
-                threads)
+            run_chunks(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
+                       threads)
     return x.ravel()
 
 
@@ -305,15 +305,15 @@ def lower_solve_blocks_dedup(indptr, indices, pool, pidx, b, levels, bs,
             x[rows] -= _row_dot_blocks_dedup(indptr, indices, pool, pidx,
                                              x, rows, bs)
         else:
-            chunks, run = team
+            chunks, run_chunks = team
 
             def solve_chunk(c: int, _unused: int) -> None:
                 rr = chunks[c]
                 x[rr] -= _row_dot_blocks_dedup(indptr, indices, pool,
                                                pidx, x, rr, bs)
 
-            run(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
-                threads)
+            run_chunks(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
+                       threads)
     return x.ravel()
 
 
@@ -338,7 +338,7 @@ def upper_solve_blocks_dedup(indptr, indices, pool, pidx, inv_diag, b,
                 "kij,kj->ki", inv_diag[rows].astype(np.float64, copy=False),
                 rhs)
         else:
-            chunks, run = team
+            chunks, run_chunks = team
 
             def solve_chunk(c: int, _unused: int) -> None:
                 rr = chunks[c]
@@ -348,8 +348,8 @@ def upper_solve_blocks_dedup(indptr, indices, pool, pidx, inv_diag, b,
                     "kij,kj->ki",
                     inv_diag[rr].astype(np.float64, copy=False), rhs)
 
-            run(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
-                threads)
+            run_chunks(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
+                       threads)
     return x.ravel()
 
 
@@ -373,7 +373,7 @@ def upper_solve_blocks(indptr, indices, data, inv_diag, b, levels, bs,
                 "kij,kj->ki", inv_diag[rows].astype(np.float64, copy=False),
                 rhs)
         else:
-            chunks, run = team
+            chunks, run_chunks = team
 
             def solve_chunk(c: int, _unused: int) -> None:
                 rr = chunks[c]
@@ -383,6 +383,6 @@ def upper_solve_blocks(indptr, indices, data, inv_diag, b, levels, bs,
                     "kij,kj->ki",
                     inv_diag[rr].astype(np.float64, copy=False), rhs)
 
-            run(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
-                threads)
+            run_chunks(solve_chunk, [(c, c + 1) for c in range(len(chunks))],
+                       threads)
     return x.ravel()

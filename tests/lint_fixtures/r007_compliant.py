@@ -1,0 +1,38 @@
+"""R007 fixture: a sound header schema.
+
+Unique in-range offsets, every coordinator-written slot read by the
+worker, and an ack slot (``_H_ERR``) that the coordinator resets and
+workers raise — the worker-written carve-out.
+"""
+
+from multiprocessing import Process
+
+_H_CMD = 0
+_H_ARG = 1
+_H_ERR = 2
+_HDR_SLOTS = 4
+
+
+def post(hdr):
+    hdr[_H_CMD] = 1
+    hdr[_H_ARG] = 7
+    hdr[_H_ERR] = 0
+
+
+def use(value):
+    return value + 1
+
+
+def worker_main(hdr):
+    if hdr[_H_CMD]:
+        try:
+            return use(hdr[_H_ARG])
+        except Exception:
+            hdr[_H_ERR] = 1
+    return None
+
+
+def start(hdr):
+    proc = Process(target=worker_main, args=(hdr,))
+    proc.start()
+    return proc

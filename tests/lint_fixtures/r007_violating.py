@@ -1,0 +1,27 @@
+"""R007 fixture: every way an shm header schema can rot.
+
+Duplicate offset, out-of-range offset, a coordinator-written slot no
+worker ever reads, and a worker-read slot no coordinator ever writes.
+"""
+
+from multiprocessing import Process
+
+_H_CMD = 0        # read on worker paths, never written by the coordinator
+_H_DUP = 0        # aliases _H_CMD's cell
+_H_OTHER = 2      # written by the coordinator, never read by any worker
+_H_FAR = 99       # outside the allocated table
+_HDR_SLOTS = 8
+
+
+def post(hdr):
+    hdr[_H_OTHER] = 1
+
+
+def worker_main(hdr):
+    return hdr[_H_CMD]
+
+
+def start(hdr):
+    proc = Process(target=worker_main, args=(hdr,))
+    proc.start()
+    return proc

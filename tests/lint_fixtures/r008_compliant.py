@@ -1,0 +1,35 @@
+"""R008 fixture: pure worker paths, with the documented carve-outs.
+
+The ``register_at_fork`` handler resets worker-local state — that is
+its whole job, so the mutation carries a ``purity-ok`` pragma.  The
+``Process(...)`` handle is acquired on a coordinator-only path, which
+reachability keeps out of the worker partition.
+"""
+
+import os
+from multiprocessing import Process
+
+_POOL_TABLE = {}
+
+
+def _reset_after_fork():
+    # lint: purity-ok (resets worker-local state after fork by design)
+    _POOL_TABLE.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+def transform(payload):
+    return sum(payload) + 1
+
+
+def worker_main(payload):
+    return transform(payload)
+
+
+def start(payload):
+    proc = Process(target=worker_main, args=(payload,))
+    proc.start()
+    return proc

@@ -1,0 +1,36 @@
+"""R008 fixture: every impurity class on a worker-reachable path.
+
+``helper`` is deliberately defined *after* its caller — resolution
+must not depend on definition order.  Expected findings: global
+rebind, module-container mutation, unseeded RNG, clock read, and a
+fork-unsafe resource (write-mode open).
+"""
+
+import random
+import time
+from multiprocessing import Process
+
+_CACHE = {}
+_COUNT = 0
+
+
+def worker_main():
+    return helper()
+
+
+def start():
+    proc = Process(target=worker_main)
+    proc.start()
+    return proc
+
+
+def helper():
+    global _COUNT
+    _COUNT += 1
+    _CACHE["runs"] = _COUNT
+    jitter = random.random()
+    t0 = time.perf_counter()
+    log = open("/tmp/worker.log", "w")
+    log.write(f"{jitter} {t0}")
+    log.close()
+    return _COUNT

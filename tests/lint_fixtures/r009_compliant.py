@@ -1,0 +1,29 @@
+"""R009 fixture: disjoint-by-construction chunk writes.
+
+Every store to a captured array indexes through names data-flow
+derived from ``(lo, hi)``; closure-private scratch is exempt; the one
+deliberate shared write carries a ``chunkwrite-ok`` pragma.
+"""
+
+import numpy as np
+
+OUT = np.zeros(16, dtype=np.float64)
+IDX = np.arange(16, dtype=np.int64)
+HALO = np.zeros(4, dtype=np.float64)
+
+
+def run_chunks(fn, chunks, threads):
+    return [fn(lo, hi) for lo, hi in chunks]
+
+
+def kernel(lo, hi):
+    rows = IDX[lo:hi]
+    OUT[rows] = rows * 2.0
+    scratch = np.zeros(4, dtype=np.float64)
+    scratch[0] = 1.0
+    # lint: chunkwrite-ok (redundant halo write, identical value from every chunk)
+    HALO[0] = 1.0
+
+
+def driver(threads):
+    return run_chunks(kernel, [(0, 8), (8, 16)], threads)

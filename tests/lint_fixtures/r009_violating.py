@@ -1,0 +1,26 @@
+"""R009 fixture: a chunk kernel writing rows outside its chunk.
+
+``kernel``'s slice write is derived from ``(lo, hi)`` and fine; the
+constant-index and captured-name writes hit rows every chunk also
+owns — a scheduling race even when the stored values happen to agree.
+"""
+
+import numpy as np
+
+OUT = np.zeros(16, dtype=np.float64)
+SRC = np.ones(16, dtype=np.float64)
+SHARED_ROW = 3
+
+
+def run_chunks(fn, chunks, threads):
+    return [fn(lo, hi) for lo, hi in chunks]
+
+
+def kernel(lo, hi):
+    OUT[lo:hi] = SRC[lo:hi] + 1.0
+    OUT[0] = 99.0
+    OUT[SHARED_ROW] = 1.0
+
+
+def driver(threads):
+    return run_chunks(kernel, [(0, 8), (8, 16)], threads)

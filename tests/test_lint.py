@@ -22,7 +22,8 @@ from repro.lint.registry import all_rules
 REPO = Path(__file__).resolve().parents[1]
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 
-RULES = ["R001", "R002", "R003", "R004", "R005", "R006"]
+RULES = ["R001", "R002", "R003", "R004", "R005", "R006",
+         "R007", "R008", "R009"]
 
 
 def lint_fixture(name, **kwargs):
@@ -80,6 +81,40 @@ class TestRuleFixtures:
             "    return out\n")
         findings = run_lint([mod], tests_dir=None)
         assert {f.rule for f in findings} == {"R002", "R003"}
+
+    def test_r007_counts_all_four_schema_rots(self):
+        """Duplicate offset, out-of-range offset, coordinator-written-
+        never-read, worker-read-never-written: one finding each."""
+        findings = lint_fixture("r007_violating.py")
+        assert len(findings) == 4
+        assert any("reuses offset" in f.message for f in findings)
+        assert any("outside the allocated table" in f.message
+                   for f in findings)
+        assert any("never read on any worker path" in f.message
+                   for f in findings)
+        assert any("consume an unset cell" in f.message for f in findings)
+
+    def test_r008_counts_all_five_impurity_classes(self):
+        """Global rebind, container mutation, RNG, clock, write-mode
+        open — all in a helper defined *after* its caller, so the
+        finding set also pins order-independent call resolution."""
+        findings = lint_fixture("r008_violating.py")
+        assert len(findings) == 5
+        msgs = " | ".join(f.message for f in findings)
+        assert "rebinds module-level '_COUNT'" in msgs
+        assert "_CACHE" in msgs
+        assert "unseeded randomness" in msgs
+        assert "clock" in msgs
+        assert "open(" in msgs
+        assert all("worker entry" in f.message for f in findings)
+
+    def test_r009_flags_only_underived_indices(self):
+        """Chunk-derived slice write passes; constant-index and
+        captured-name writes are each flagged."""
+        findings = lint_fixture("r009_violating.py")
+        assert len(findings) == 2
+        assert all("'OUT'" in f.message for f in findings)
+        assert all("chunk arguments" in f.message for f in findings)
 
     def test_r006_counts_each_missing_declaration(self):
         """Non-dotted oracle path + missing __fallback__ + one
@@ -232,8 +267,9 @@ class TestCli:
                         str(FIXTURES / "r005_violating.py")])
         assert rc == 1
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == 2
         assert doc["counts"] == {"R005": 4}
+        assert doc["cache"]["enabled"] is False
 
     def test_select_restricts_rules(self, capsys):
         rc = lint_main(["--select", "R002", "--tests", "does-not-exist",
@@ -247,5 +283,129 @@ class TestCli:
         for rule in RULES:
             assert rule in out
 
-    def test_registry_has_six_rules(self):
+    def test_registry_has_nine_rules(self):
         assert [r.id for r in all_rules()] == RULES
+
+    def test_select_unknown_rule_exits_two(self, capsys):
+        rc = lint_main(["--select", "R042,R002",
+                        str(FIXTURES / "r002_violating.py")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id" in err
+        assert "R042" in err
+        assert "R002" in err          # the known list is spelled out
+
+    def test_select_known_rules_still_run(self, capsys):
+        rc = lint_main(["--select", "R004", "--tests", "does-not-exist",
+                        str(FIXTURES / "r004_violating.py")])
+        assert rc == 1
+        assert "R004" in capsys.readouterr().out
+
+
+class TestTestCollection:
+    def test_unparsable_test_file_is_r000(self, tmp_path):
+        from repro.lint.engine import collect_test_names
+        tdir = tmp_path / "tests"
+        tdir.mkdir()
+        (tdir / "test_ok.py").write_text("def test_a():\n"
+                                         "    assert helper() == 1\n")
+        (tdir / "test_broken.py").write_text("def test_b(:\n")
+        names, findings = collect_test_names(tdir)
+        assert "helper" in names
+        assert len(findings) == 1
+        assert findings[0].rule == "R000"
+        assert "does not parse" in findings[0].message
+        assert findings[0].path.endswith("test_broken.py")
+
+    def test_unreadable_test_file_is_r000(self, tmp_path):
+        from repro.lint.engine import collect_test_names
+        tdir = tmp_path / "tests"
+        tdir.mkdir()
+        bad = tdir / "test_bad.py"
+        bad.write_bytes(b"\xff\xfe broken bytes \xff")
+        names, findings = collect_test_names(tdir)
+        assert len(findings) == 1
+        assert findings[0].rule == "R000"
+        assert "unreadable" in findings[0].message
+
+    def test_collection_findings_surface_in_run(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("def f(x):\n    return x\n")
+        tdir = tmp_path / "tests"
+        tdir.mkdir()
+        (tdir / "test_broken.py").write_text("def test_b(:\n")
+        findings = run_lint([pkg], tests_dir=tdir)
+        assert [f.rule for f in findings] == ["R000"]
+
+
+class TestCacheAndJobs:
+    def test_cache_second_run_hits(self, tmp_path):
+        from repro.lint import run_lint_ex
+        cdir = tmp_path / "cache"
+        paths = [FIXTURES / "r002_violating.py",
+                 FIXTURES / "r003_violating.py"]
+        first = run_lint_ex(paths, tests_dir=None, cache_dir=cdir)
+        assert first.cache_stats["enabled"] is True
+        assert first.cache_stats["misses"] == 2
+        assert first.cache_stats["hits"] == 0
+        second = run_lint_ex(paths, tests_dir=None, cache_dir=cdir)
+        assert second.cache_stats["hits"] == 2
+        assert second.cache_stats["misses"] == 0
+        assert [f.fingerprint for f in first.findings] \
+            == [f.fingerprint for f in second.findings]
+
+    def test_cache_invalidates_on_content_change(self, tmp_path):
+        from repro.lint import run_lint_ex
+        cdir = tmp_path / "cache"
+        mod = tmp_path / "mod.py"
+        mod.write_text("import numpy as np\n\n\n"
+                       "def acc(out, i, w):\n"
+                       "    np.add.at(out, i, w)\n")
+        run_lint_ex([mod], tests_dir=None, cache_dir=cdir)
+        mod.write_text("def acc(out, i, w):\n    return out\n")
+        res = run_lint_ex([mod], tests_dir=None, cache_dir=cdir)
+        assert res.cache_stats["misses"] == 1
+        assert res.findings == []
+
+    def test_project_rules_fire_from_cached_facts(self, tmp_path):
+        """R007/R008 run in finalize over *cached* facts: a fully
+        cache-hit second run must reproduce interprocedural findings."""
+        from repro.lint import run_lint_ex
+        cdir = tmp_path / "cache"
+        path = [FIXTURES / "r008_violating.py"]
+        first = run_lint_ex(path, tests_dir=None, cache_dir=cdir)
+        second = run_lint_ex(path, tests_dir=None, cache_dir=cdir)
+        assert second.cache_stats["hits"] == 1
+        assert {f.rule for f in second.findings} == {"R008"}
+        assert [f.fingerprint for f in first.findings] \
+            == [f.fingerprint for f in second.findings]
+
+    def test_cache_keyed_by_select(self, tmp_path):
+        """A cached R002-only analysis must not satisfy a full run."""
+        from repro.lint import run_lint_ex
+        cdir = tmp_path / "cache"
+        path = [FIXTURES / "r005_violating.py"]
+        run_lint_ex(path, tests_dir=None, cache_dir=cdir,
+                    select={"R002"})
+        full = run_lint_ex(path, tests_dir=None, cache_dir=cdir)
+        assert full.cache_stats["misses"] == 1
+        assert {f.rule for f in full.findings} == {"R005"}
+
+    def test_parallel_jobs_match_serial(self):
+        from repro.lint import run_lint_ex
+        paths = sorted(FIXTURES.glob("r0*_violating.py"))
+        serial = run_lint_ex(paths, tests_dir=None, jobs=1)
+        threaded = run_lint_ex(paths, tests_dir=None, jobs=4)
+        assert [f.fingerprint for f in serial.findings] \
+            == [f.fingerprint for f in threaded.findings]
+
+    def test_json_reports_cache_stats(self, tmp_path, capsys):
+        rc = lint_main(["--format", "json", "--tests", "does-not-exist",
+                        "--cache", str(tmp_path / "c"),
+                        str(FIXTURES / "r003_violating.py")])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cache"]["enabled"] is True
+        assert doc["cache"]["misses"] == 1
+        assert "analysis_version" in doc["cache"]

@@ -1,0 +1,212 @@
+"""Unit tests for the project call graph behind R007/R008.
+
+These build :class:`~repro.lint.facts.ModuleFacts` straight from source
+strings (no filesystem) and assert on edges, worker-entry detection,
+reachability, and path reconstruction — the resolution contract the
+interprocedural rules depend on.
+"""
+
+from pathlib import Path
+from textwrap import dedent
+
+from repro.lint.callgraph import build_call_graph
+from repro.lint.facts import extract_facts, module_dotted_name
+from repro.lint.model import parse_module
+
+
+def graph_of(**modules):
+    """Build a CallGraph from ``{module_name: source}`` pairs."""
+    facts = []
+    for modname, src in modules.items():
+        rel = "src/" + modname.replace(".", "/") + ".py"
+        info = parse_module(Path(rel), rel, source=dedent(src))
+        facts.append(extract_facts(info))
+    return build_call_graph(facts)
+
+
+class TestDottedNames:
+    def test_src_prefix_stripped(self):
+        assert module_dotted_name("src/repro/parallel/spmd.py") == \
+            "repro.parallel.spmd"
+
+    def test_package_init_maps_to_package(self):
+        assert module_dotted_name("src/repro/lint/__init__.py") == \
+            "repro.lint"
+
+
+class TestEdgeResolution:
+    def test_bare_name_call_resolves_to_local_def(self):
+        g = graph_of(m="""
+            def helper():
+                return 1
+
+            def entry():
+                return helper()
+        """)
+        assert ("m", "helper") in g.callees(("m", "entry"))
+
+    def test_callee_defined_after_caller_still_resolves(self):
+        # Regression: resolution must be position-independent; a single
+        # forward pass missed calls to functions defined further down.
+        g = graph_of(m="""
+            def entry():
+                return helper()
+
+            def helper():
+                return 1
+        """)
+        assert ("m", "helper") in g.callees(("m", "entry"))
+
+    def test_self_method_resolves_to_class_method(self):
+        g = graph_of(m="""
+            class Pool:
+                def run(self):
+                    return self.step()
+
+                def step(self):
+                    return 1
+        """)
+        assert ("m", "Pool.step") in g.callees(("m", "Pool.run"))
+
+    def test_constructor_call_expands_to_init(self):
+        g = graph_of(m="""
+            class Pool:
+                def __init__(self):
+                    self.n = 1
+
+            def make():
+                return Pool()
+        """)
+        assert ("m", "Pool.__init__") in g.callees(("m", "make"))
+
+    def test_module_alias_call_crosses_modules(self):
+        g = graph_of(
+            util="""
+                def helper():
+                    return 1
+            """,
+            main="""
+                import util as u
+
+                def entry():
+                    return u.helper()
+            """)
+        assert ("util", "helper") in g.callees(("main", "entry"))
+
+    def test_from_import_call_crosses_modules(self):
+        g = graph_of(
+            util="""
+                def helper():
+                    return 1
+            """,
+            main="""
+                from util import helper
+
+                def entry():
+                    return helper()
+            """)
+        assert ("util", "helper") in g.callees(("main", "entry"))
+
+    def test_constructor_typed_variable_method_resolves(self):
+        g = graph_of(m="""
+            class Recorder:
+                def flush(self):
+                    return 1
+
+            def entry():
+                rec = Recorder()
+                return rec.flush()
+        """)
+        assert ("m", "Recorder.flush") in g.callees(("m", "entry"))
+
+    def test_duck_typed_attribute_creates_no_edge(self):
+        # Under-approximation: an untyped parameter's method call must
+        # not wire unrelated same-name methods into the graph.
+        g = graph_of(m="""
+            class Recorder:
+                def flush(self):
+                    return 1
+
+            def entry(thing):
+                return thing.flush()
+        """)
+        assert ("m", "Recorder.flush") not in g.callees(("m", "entry"))
+
+
+class TestWorkerEntries:
+    def test_process_target_is_worker_entry(self):
+        g = graph_of(m="""
+            from multiprocessing import Process
+
+            def worker_main(q):
+                return q
+
+            def start(q):
+                Process(target=worker_main, args=(q,)).start()
+        """)
+        assert ("m", "worker_main") in g.worker_entries
+        assert ("m", "start") not in g.worker_entries
+
+    def test_register_at_fork_child_hook_is_worker_entry(self):
+        g = graph_of(m="""
+            import os
+
+            def reset():
+                pass
+
+            os.register_at_fork(after_in_child=reset)
+        """)
+        assert ("m", "reset") in g.worker_entries
+
+
+class TestReachability:
+    SRC = """
+        from multiprocessing import Process
+
+        def leaf():
+            return 1
+
+        def middle():
+            return leaf()
+
+        def worker_main():
+            def inner():
+                return middle()
+            return inner()
+
+        def coordinator_only():
+            return leaf()
+
+        def start():
+            Process(target=worker_main).start()
+    """
+
+    def test_worker_reachable_includes_transitive_and_nested(self):
+        g = graph_of(m=self.SRC)
+        reach = g.worker_reachable()
+        assert ("m", "worker_main") in reach
+        assert ("m", "worker_main.<locals>.inner") in reach
+        assert ("m", "middle") in reach
+        assert ("m", "leaf") in reach
+
+    def test_coordinator_only_stays_out_of_worker_partition(self):
+        g = graph_of(m=self.SRC)
+        reach = g.worker_reachable()
+        assert ("m", "coordinator_only") not in reach
+        assert ("m", "start") not in reach
+
+    def test_call_path_reconstruction_is_shortest(self):
+        g = graph_of(m=self.SRC)
+        paths = g.call_paths_to(("m", "leaf"))
+        assert len(paths) == 1
+        assert paths[0] == [
+            ("m", "worker_main"),
+            ("m", "worker_main.<locals>.inner"),
+            ("m", "middle"),
+            ("m", "leaf"),
+        ]
+
+    def test_unknown_root_yields_no_paths(self):
+        g = graph_of(m=self.SRC)
+        assert g.call_paths_to(("m", "leaf"),
+                               roots=[("m", "no_such_fn")]) == []
