@@ -49,7 +49,7 @@ from repro.memory.tlb import tlb_sim
 from repro.memory.trace import (flux_loop_trace, spmv_bsr_trace,
                                 spmv_dedup_bsr_trace)
 from repro.partition.kway import kway_partition
-from repro.perf import compare_kernels, time_kernel, write_report
+from repro.perf import compare_kernels, git_sha, time_kernel, write_report
 from repro.perfmodel.machines import ORIGIN2000_R10K
 from repro.perfmodel.spmv_model import (spmv_dedup_traffic_bytes,
                                         spmv_traffic_bytes)
@@ -350,8 +350,12 @@ def run(size: int, repeats: int, out: str | None) -> dict:
     finally:
         pool.close()
 
+    from repro.service.hashing import mesh_hash
+
     meta = {
         "mesh": f"wing_mesh({size},{size},{size})",
+        "mesh_hash": mesh_hash(mesh),
+        "git_sha": git_sha(),
         "num_vertices": int(mesh.num_vertices),
         "num_unknowns": int(disc.num_unknowns),
         "block_size": int(jac.bs),

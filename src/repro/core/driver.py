@@ -137,11 +137,23 @@ class NKSSolver:
     a shared no-op recorder, so uninstrumented solves pay nothing and
     an instrumented solve is bitwise-identical — telemetry only reads
     the clock, never the arrays.
+
+    Warm injection (the solver-service seam): ``labels`` skips the
+    partitioner, ``layout`` additionally skips the SPMD layout build
+    (and brings its gather cache and any attached worker pool along),
+    and ``preconditioner`` injects a previously-harvested
+    :class:`AdditiveSchwarz` whose refresh path reuses the symbolic
+    ILU and elimination schedules numeric-only.  All three must come
+    from a solve over the same mesh topology and compatible config —
+    the structures assert sparsity compatibility at use time.
     """
 
     def __init__(self, disc: EdgeFVDiscretization,
                  config: SolverConfig | None = None,
-                 recorder=NULL_RECORDER) -> None:
+                 recorder=NULL_RECORDER, *,
+                 labels: np.ndarray | None = None,
+                 layout: SPMDLayout | None = None,
+                 preconditioner: AdditiveSchwarz | None = None) -> None:
         self.disc = disc
         self.config = config or SolverConfig()
         self.recorder = recorder if recorder is not None else NULL_RECORDER
@@ -149,15 +161,28 @@ class NKSSolver:
         # assembly and SPMD rank kernels (which fork after this point)
         # all see the same tier.
         self.disc.engine = self.config.engine
-        self._labels = self._build_labels()
-        self._pc: AdditiveSchwarz | None = None
+        if layout is not None:
+            self._labels = np.asarray(layout.labels, dtype=np.int64)
+        elif labels is not None:
+            self._labels = np.asarray(labels, dtype=np.int64)
+        else:
+            self._labels = self._build_labels()
+        self._pc: AdditiveSchwarz | None = preconditioner
+        if preconditioner is not None:
+            # Per-request telemetry: the harvested instance records
+            # into this solve's recorder, not the one it was born with.
+            preconditioner.recorder = self.recorder
         self._ws = KrylovWorkspace()     # Krylov arrays, reused every step
         self._steps_since_refresh = 0
         # SPMD execution (config.executor 'seq'/'proc'): the Krylov
         # matvec — and the residual while it is first-order — run on
         # the distributed rank-local kernels over the partition.
-        self._layout = (SPMDLayout.build(disc.mesh.edges, self._labels)
-                        if self.config.executor != "local" else None)
+        if self.config.executor == "local":
+            self._layout = None
+        elif layout is not None:
+            self._layout = layout
+        else:
+            self._layout = SPMDLayout.build(disc.mesh.edges, self._labels)
 
     # ------------------------------------------------------------------
     def _build_labels(self) -> np.ndarray:
@@ -220,10 +245,22 @@ class NKSSolver:
         self._steps_since_refresh = cfg.jacobian_lag  # force initial refresh
 
         pool = None
+        own_pool = False
         if cfg.executor == "proc":
-            from repro.parallel.procpool import ProcPool
-            pool = ProcPool(self._layout, self.disc, nworkers=cfg.nworkers,
-                            threads=cfg.threads)
+            # Reuse a live pool already attached to the layout (the
+            # warm-service case: persistent workers across requests);
+            # otherwise create one for this solve only.  Only pools
+            # created here are closed here.
+            attached = self._layout.pool
+            if (attached is not None and not attached.closed
+                    and not attached.broken):
+                pool = attached
+            else:
+                from repro.parallel.procpool import ProcPool
+                pool = ProcPool(self._layout, self.disc,
+                                nworkers=cfg.nworkers,
+                                threads=cfg.threads)
+                own_pool = True
         spmd_exec = pool if pool is not None \
             else ("seq" if cfg.executor == "seq" else None)
         try:
@@ -234,7 +271,7 @@ class NKSSolver:
                 # they clocked in their own processes) into ``rec``.
                 pool.collect(rec)
         finally:
-            if pool is not None:
+            if pool is not None and own_pool:
                 pool.close()
         return report
 

@@ -84,6 +84,15 @@ def _scaling(a):
     yield run_scaling(smoke=a.smoke, out=a.out or "BENCH_scaling.json")
 
 
+def _service(a):
+    # The solver-service benchmark: cold/warm/jittered request stream
+    # through a live SolverService; writes BENCH_service.json.
+    from repro.experiments.service_bench import run_service_bench
+    yield run_service_bench(smoke=a.smoke,
+                            out=a.out or "BENCH_service.json",
+                            executor=a.executor, nworkers=a.workers)
+
+
 EXPERIMENTS = {
     "table1": _table1,
     "table2": lambda a: [run_table2(procs=(4, 8, 16), size="medium",
@@ -105,6 +114,7 @@ EXPERIMENTS = {
     "fig5": _fig5,
     "eqbounds": lambda a: [run_eq_bounds()],
     "scaling": _scaling,
+    "service": _service,
 }
 
 
@@ -113,8 +123,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment", nargs="?",
-                        choices=sorted(EXPERIMENTS) + ["all"],
-                        help="which experiment to run (omit to list)")
+                        help="which experiment to run "
+                             "(one of the registered names, or 'all')")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized variant (smaller counts/steps)")
     parser.add_argument("--executor", choices=("seq", "proc"),
@@ -130,12 +140,19 @@ def main(argv: list[str] | None = None) -> int:
                              "one (scaling -> BENCH_scaling.json)")
     args = parser.parse_args(argv)
 
-    if args.experiment is None:
-        print("available experiments:")
+    if args.experiment is None or (args.experiment != "all"
+                                   and args.experiment not in EXPERIMENTS):
+        # Usage error, not success: scripts (and CI) that misspell a
+        # subcommand must fail loudly, so the listing goes to stderr
+        # and the exit code matches argparse's usage-error convention.
+        if args.experiment is not None:
+            print(f"unknown experiment: {args.experiment!r}",
+                  file=sys.stderr)
+        print("available experiments:", file=sys.stderr)
         for name in sorted(EXPERIMENTS):
-            print(f"  {name}")
-        print("  all")
-        return 0
+            print(f"  {name}", file=sys.stderr)
+        print("  all", file=sys.stderr)
+        return 2
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

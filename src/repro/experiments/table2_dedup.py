@@ -38,7 +38,8 @@ from repro.memory.cache import simulate_trace
 from repro.memory.trace import spmv_bsr_trace, spmv_dedup_bsr_trace
 from repro.partition.kway import kway_partition
 from repro.perf import compare_kernels
-from repro.perf.regress import SCHEMA_VERSION, atomic_write_json
+from repro.perf.regress import SCHEMA_VERSION, atomic_write_json, git_sha
+from repro.service.hashing import mesh_hash
 from repro.perfmodel.machines import ORIGIN2000_R10K
 from repro.perfmodel.spmv_model import (spmv_dedup_traffic_bytes,
                                         spmv_traffic_bytes)
@@ -187,6 +188,8 @@ def run_table2_dedup(*, smoke: bool = False, max_steps: int | None = None,
     )
     doc: dict = {"schema_version": SCHEMA_VERSION,
                  "meta": {"mesh": prob.name,
+                          "mesh_hash": mesh_hash(prob.mesh),
+                          "git_sha": git_sha(),
                           "num_vertices": int(prob.mesh.num_vertices),
                           "nnzb": int(jac.nnzb), "bs": int(jac.bs),
                           "max_steps": steps, "repeats": repeats,

@@ -50,6 +50,7 @@ _HDR_SLOTS_NAME = "_HDR_SLOTS"
 #: to the keyword argument holding the entry callable.
 _ENTRY_CALLS = {
     "Process": "target",
+    "Thread": "target",
     "register_at_fork": "after_in_child",
 }
 

@@ -36,6 +36,13 @@ from repro.parallel.spmd import (
     tree_reduce_sum,
 )
 from repro.parallel.procpool import ProcPool, ProcPoolError
+from repro.parallel.comm import (
+    Communicator,
+    SeqCommunicator,
+    ProcCommunicator,
+    SocketCommunicator,
+    resolve_communicator,
+)
 
 __all__ = [
     "GhostExchangePlan",
@@ -59,4 +66,9 @@ __all__ = [
     "tree_reduce_sum",
     "ProcPool",
     "ProcPoolError",
+    "Communicator",
+    "SeqCommunicator",
+    "ProcCommunicator",
+    "SocketCommunicator",
+    "resolve_communicator",
 ]

@@ -256,11 +256,17 @@ class ProcPool:
         ctx = mp.get_context("fork")
         # Per-worker GO/DONE pairs: each worker only ever touches its
         # own, so a fast worker cannot steal a slow one's release.
+        # Pool construction is coordinator work even when a service
+        # dispatch *thread* reaches it (threads share the coordinator's
+        # address space; nothing here crosses a fork boundary first).
+        # lint: purity-ok (pool setup runs coordinator-side by contract)
         self._go = [ctx.Semaphore(0) for _ in range(self.nworkers)]
+        # lint: purity-ok (pool setup runs coordinator-side by contract)
         self._done = [ctx.Semaphore(0) for _ in range(self.nworkers)]
         self._res_q = ctx.SimpleQueue()
         self._worker_ranks = [list(range(w, layout.nranks, self.nworkers))
                               for w in range(self.nworkers)]
+        # lint: purity-ok (pool setup runs coordinator-side by contract)
         self._procs = [ctx.Process(target=self._worker_main, args=(w,),
                                    daemon=True, name=f"spmd-worker-{w}")
                        for w in range(self.nworkers)]
@@ -334,6 +340,7 @@ class ProcPool:
         off = _align(off + self.n * rowbytes)
         self._off_locals = off
         off = _align(off + max(self.total_local, 1) * rowbytes)
+        # lint: purity-ok (arena creation is coordinator-side; service dispatch threads share its address space)
         self._shm = shared_memory.SharedMemory(create=True, size=off)
         self._hdr = np.ndarray(_HDR_SLOTS, dtype=np.int64,
                                buffer=self._shm.buf, offset=self._off_hdr)

@@ -52,6 +52,8 @@ from repro.parallel.procpool import ProcPool
 from repro.parallel.spmd import (SPMDLayout, distributed_matvec,
                                  distributed_residual)
 from repro.partition.kway import kway_partition
+from repro.perf.regress import git_sha
+from repro.service.hashing import mesh_hash
 from repro.telemetry.recorder import NULL_RECORDER, TraceRecorder
 from repro.telemetry.report import phase_decomposition
 
@@ -143,6 +145,7 @@ class ScalingCase:
     seq_threads: dict = field(default_factory=dict)  # threads -> median_s
     grid: list = field(default_factory=list)         # [GridPoint]
     amdahl: dict = field(default_factory=dict)       # fits (see to_dict)
+    mesh_hash: str = ""          # content hash of the measured mesh
 
     def best(self) -> GridPoint:
         return max(self.grid, key=lambda g: g.speedup)
@@ -156,6 +159,7 @@ class ScalingCase:
     def to_dict(self) -> dict:
         return {
             "label": self.label, "mesh": self.mesh,
+            "mesh_hash": self.mesh_hash,
             "num_vertices": self.num_vertices,
             "num_unknowns": self.num_unknowns,
             "nranks": self.nranks,
@@ -301,7 +305,8 @@ def _run_strong_case(label: str, dims, *, workers, threads, nranks: int,
     case = ScalingCase(label=label, mesh=f"wing_problem{tuple(dims)}",
                        num_vertices=int(prob.mesh.num_vertices),
                        num_unknowns=int(disc.num_unknowns),
-                       nranks=nranks, baseline_s=baseline)
+                       nranks=nranks, baseline_s=baseline,
+                       mesh_hash=mesh_hash(prob.mesh))
     for t in threads:
         if t == 1:
             case.seq_threads[1] = baseline
@@ -400,6 +405,7 @@ def run_scaling(*, smoke: bool = False, workers=(1, 2, 4), threads=(1, 2),
                             log=log) if weak else []
     meta = {
         "workload": f"1 residual + {matvecs} matvecs per measurement",
+        "git_sha": git_sha(),
         "repeats": repeats,
         "engine": engine,
         "compiled_backend": capability.resolve_engine("compiled"),

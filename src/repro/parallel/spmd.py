@@ -53,7 +53,7 @@ from repro.telemetry.recorder import NULL_RECORDER
 __all__ = ["RankLocalData", "SPMDLayout", "GhostExchange",
            "distributed_residual", "distributed_matvec", "distributed_dot",
            "rank_residual", "rank_matvec", "rank_matvec_dedup",
-           "rank_matvec_structs", "tree_reduce_sum"]
+           "rank_matvec_structs", "gather_structs", "tree_reduce_sum"]
 
 
 @dataclass
@@ -92,13 +92,21 @@ class SPMDLayout:
 
     ``pool`` is the attach point for a process-parallel executor
     (:class:`repro.parallel.procpool.ProcPool`); the distributed
-    kernels resolve ``executor="proc"`` through it.  ``executor``
-    reports which backend a bare kernel call would use.
+    kernels resolve ``executor="proc"`` through it.  ``comm`` is the
+    attach point for a live :class:`repro.parallel.comm.Communicator`
+    (``executor="socket"`` resolves through it).  ``executor`` reports
+    which backend a bare kernel call would use.  ``gather_cache``
+    holds the per-rank SpMV gather structures keyed by matrix pattern
+    (see :func:`gather_structs`); it is layout-owned so warm services
+    can seed it across solves.
     """
 
     labels: np.ndarray
     ranks: list[RankLocalData] = field(default_factory=list)
     pool: object | None = field(default=None, repr=False, compare=False)
+    comm: object | None = field(default=None, repr=False, compare=False)
+    gather_cache: dict = field(default_factory=dict, repr=False,
+                               compare=False)
 
     @property
     def nranks(self) -> int:
@@ -152,9 +160,9 @@ class GhostExchange:
 
     def __init__(self, layout: SPMDLayout, ncomp: int, *,
                  recorder=NULL_RECORDER, executor: str = "seq") -> None:
-        if executor not in ("seq", "proc"):
+        if executor not in ("seq", "proc", "socket"):
             raise ValueError(f"unknown executor {executor!r} "
-                             f"(expected 'seq' or 'proc')")
+                             f"(expected 'seq', 'proc', or 'socket')")
         self.layout = layout
         self.ncomp = ncomp
         self.executor = executor
@@ -189,12 +197,13 @@ class GhostExchange:
         present in its owner's ``owned`` array — ``np.searchsorted``
         on a stale layout would otherwise silently pick a wrong row.
         """
-        if self.executor == "proc":
+        if self.executor != "seq":
             raise RuntimeError(
-                "refresh() is the in-process exchange; with "
-                "executor='proc' the ghosts are refreshed inside the "
-                "worker pool's barrier protocol (account_refresh books "
-                "the traffic)")
+                f"refresh() is the in-process exchange; with "
+                f"executor={self.executor!r} the ghosts are refreshed "
+                f"inside the transport (worker-pool barrier protocol or "
+                f"rank-server pulls) and account_refresh books the "
+                f"traffic")
         layout = self.layout
         rec = self.recorder
         per_rank_s = [0.0] * layout.nranks
@@ -363,6 +372,35 @@ def rank_matvec_structs(a: BSRMatrix, rd: RankLocalData):
     return flat, cols, seg
 
 
+def gather_structs(a, layout: SPMDLayout, rd: RankLocalData):
+    """Layout-cached :func:`rank_matvec_structs`.
+
+    The gather structure depends only on the matrix *pattern*
+    (``indptr``/``indices``) and the layout, so one copy per rank is
+    kept on ``layout.gather_cache`` and reused across matvecs — the
+    sequential analogue of the proc workers' per-matrix struct cache,
+    and the seam a warm solver service seeds across requests.
+    Validity is an object-identity fast path on the pattern arrays
+    with an ``np.array_equal`` fallback (O(nnz) compares are noise
+    next to the einsum matvec); a pattern change recomputes.
+    """
+    cache = layout.gather_cache
+    ent = cache.get(rd.rank)
+    if ent is not None:
+        indptr, indices, structs = ent
+        if indptr is a.indptr and indices is a.indices:
+            return structs
+        if (indptr.shape == a.indptr.shape
+                and indices.shape == a.indices.shape
+                and np.array_equal(indptr, a.indptr)
+                and np.array_equal(indices, a.indices)):
+            cache[rd.rank] = (a.indptr, a.indices, structs)
+            return structs
+    structs = rank_matvec_structs(a, rd)
+    cache[rd.rank] = (a.indptr, a.indices, structs)
+    return structs
+
+
 def rank_matvec(data_rows: np.ndarray, cols: np.ndarray, seg: np.ndarray,
                 local_x_r: np.ndarray, n_owned: int,
                 workspace: tuple | None = None,
@@ -521,27 +559,6 @@ def tree_reduce_sum(values) -> float:
     return vals[0]
 
 
-def _resolve_pool(layout: SPMDLayout, executor):
-    """Map the ``executor`` knob to a pool (or None for in-process).
-
-    ``"seq"``/None run the rank loop in-process; ``"proc"`` uses the
-    pool attached to the layout; a pool instance is used directly.
-    """
-    if executor in (None, "seq"):
-        return None
-    if executor == "proc":
-        if layout.pool is None:
-            raise ValueError(
-                "executor='proc' needs a worker pool: create "
-                "repro.parallel.ProcPool(layout, disc) (it attaches "
-                "itself to layout.pool) or pass the pool as executor=")
-        return layout.pool
-    if isinstance(executor, str):
-        raise ValueError(f"unknown executor {executor!r} "
-                         f"(expected 'seq', 'proc', or a ProcPool)")
-    return executor
-
-
 def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
                          qglobal: np.ndarray,
                          exchange: GhostExchange | None = None,
@@ -555,40 +572,27 @@ def distributed_residual(disc: EdgeFVDiscretization, layout: SPMDLayout,
     Must equal ``disc.residual(q, second_order=False)`` exactly.  The
     result dtype follows ``qglobal`` (float32 in, float32 out).
 
-    ``executor="proc"`` (or a :class:`~repro.parallel.procpool.ProcPool`
-    instance) runs the rank kernels in the worker pool over shared
-    memory — bitwise-identical to the sequential path; per-rank spans
-    are then recorded inside the workers (collect the pool to merge).
-    ``threads`` is the intra-rank team size, honoured identically by
-    both executors (the pool forwards it through the shm header), so
+    ``executor`` selects the transport through
+    :func:`repro.parallel.comm.resolve_communicator`: ``"seq"`` replays
+    the ranks in-process, ``"proc"`` (or a
+    :class:`~repro.parallel.procpool.ProcPool` instance) runs the rank
+    kernels in the worker pool over shared memory, ``"socket"`` (or any
+    :class:`~repro.parallel.comm.Communicator` instance) moves the
+    payloads over that transport — all bitwise-identical, because every
+    transport runs the same rank kernels on exact copies.  ``threads``
+    is the intra-rank team size, honoured identically by all
+    executors (the pool forwards it through the shm header), so
     ``seq(threads=t)`` equals ``proc(threads=t)`` bitwise for any t.
     """
+    from repro.parallel.comm import resolve_communicator
+
     ncomp = disc.ncomp
     threads = resolve_threads(threads)
     rec = recorder if recorder is not None else NULL_RECORDER
-    pool = _resolve_pool(layout, executor)
-    if pool is not None:
-        ex = exchange or GhostExchange(layout, ncomp, recorder=rec,
-                                       executor="proc")
-        r = pool.residual(qglobal, exchange=ex, recorder=rec,
-                          threads=threads)
-        _sanitize_note("residual", r)
-        return r
-    ex = exchange or GhostExchange(layout, ncomp, recorder=rec)
-    local_q = _scatter_local_state(layout, qglobal, ncomp)
-    ex.refresh(local_q)
-
-    out = np.zeros((disc.mesh.num_vertices, ncomp), dtype=qglobal.dtype)
-    per_rank_s = [0.0] * layout.nranks
-    # lint: loop-ok (rank loop of the SPMD residual, O(nranks))
-    for rd in layout.ranks:
-        with rec.span("flux", rank=rd.rank) as sp:
-            r_local = rank_residual(disc, rd, local_q[rd.rank], out.dtype,
-                                    threads=threads)
-            out[rd.owned] = r_local[: rd.n_owned]
-        per_rank_s[rd.rank] = sp.elapsed
-    rec.record_wait("flux", per_rank_s)
-    r = out.ravel()
+    comm = resolve_communicator(layout, executor)
+    ex = exchange or GhostExchange(layout, ncomp, recorder=rec,
+                                   executor=comm.name)
+    r = comm.residual(disc, qglobal, ex, recorder=rec, threads=threads)
     _sanitize_note("residual", r)
     return r
 
@@ -604,51 +608,26 @@ def distributed_matvec(a: BSRMatrix | DedupBSR, layout: SPMDLayout,
 
     As in the Krylov solvers, the working precision follows the vector:
     the result and all rank-local arrays take ``xglobal``'s dtype.
-    ``executor`` selects the backend as in :func:`distributed_residual`;
-    ``threads`` is the intra-rank team size, honoured identically by
-    both executors.
+    ``executor`` selects the transport as in
+    :func:`distributed_residual`; ``threads`` is the intra-rank team
+    size, honoured identically by all executors.
 
     ``a`` may be a :class:`~repro.sparse.dedup.DedupBSR`: the rank
     kernels then stream int32 pool indices instead of dense blocks
     (:func:`rank_matvec_dedup`), bitwise-identical to the dense form at
-    float64 pool storage on both executors.
+    float64 pool storage on every transport.
     """
+    from repro.parallel.comm import resolve_communicator
+
     bs = a.bs
     threads = resolve_threads(threads)
     rec = recorder if recorder is not None else NULL_RECORDER
-    pool = _resolve_pool(layout, executor)
-    if pool is not None:
-        ex = exchange or GhostExchange(layout, bs, recorder=rec,
-                                       executor="proc")
-        y = pool.matvec(a, xglobal, exchange=ex, recorder=rec,
-                        threads=threads)
-        _sanitize_note("matvec", y)
-        return y
-    ex = exchange or GhostExchange(layout, bs, recorder=rec)
-    local_x = _scatter_local_state(layout, xglobal, bs)
-    ex.refresh(local_x)
-    y = np.zeros((a.nbrows, bs), dtype=xglobal.dtype)
-    per_rank_s = [0.0] * layout.nranks
-    dedup = isinstance(a, DedupBSR)
-    # lint: loop-ok (rank loop of the SPMD matvec, O(nranks))
-    for rd in layout.ranks:
-        with rec.span("matvec", rank=rd.rank) as sp:
-            # All owned block rows as one flat batch: gather the block
-            # entries of every row, block-gemv them, segment-sum per row.
-            flat, cols, seg = rank_matvec_structs(a, rd)
-            if dedup:
-                y[rd.owned] = rank_matvec_dedup(
-                    a.pool, a.pidx[flat], cols, seg, local_x[rd.rank],
-                    rd.owned.size, engine=a.engine, threads=threads)
-            else:
-                y[rd.owned] = rank_matvec(a.data[flat], cols, seg,
-                                          local_x[rd.rank], rd.owned.size,
-                                          engine=a.engine, threads=threads)
-        per_rank_s[rd.rank] = sp.elapsed
-    rec.record_wait("matvec", per_rank_s)
-    yflat = y.ravel()
-    _sanitize_note("matvec", yflat)
-    return yflat
+    comm = resolve_communicator(layout, executor)
+    ex = exchange or GhostExchange(layout, bs, recorder=rec,
+                                   executor=comm.name)
+    y = comm.matvec(a, xglobal, ex, recorder=rec, threads=threads)
+    _sanitize_note("matvec", y)
+    return y
 
 
 def distributed_dot(layout: SPMDLayout, xglobal: np.ndarray,
@@ -662,17 +641,13 @@ def distributed_dot(layout: SPMDLayout, xglobal: np.ndarray,
     bitwise-identical across executors and independent of worker
     completion order.
     """
+    from repro.parallel.comm import resolve_communicator
+
     rec = recorder if recorder is not None else NULL_RECORDER
-    pool = _resolve_pool(layout, executor)
+    comm = resolve_communicator(layout, executor)
     with rec.span("allreduce"):
-        if pool is not None:
-            partials = pool.dot_partials(xglobal, yglobal)
-        else:
-            x = xglobal.reshape(-1, ncomp)
-            y = yglobal.reshape(-1, ncomp)
-            partials = [float(np.sum(x[rd.owned] * y[rd.owned]))
-                        for rd in layout.ranks]
-        result = tree_reduce_sum(partials)   # the allreduce
+        partials = comm.dot_partials(xglobal, yglobal, ncomp)
+        result = comm.reduce(partials)       # the allreduce
     rec.count("reductions", 1)
     _sanitize_note("dot", np.array([result], dtype=np.float64))
     return result

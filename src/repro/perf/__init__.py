@@ -17,7 +17,7 @@ benches need:
 
 from repro.perf.timers import Timer, median
 from repro.perf.bench import BenchResult, time_kernel, compare_kernels
-from repro.perf.regress import write_report, load_report
+from repro.perf.regress import git_sha, write_report, load_report
 
 __all__ = [
     "Timer",
@@ -27,4 +27,5 @@ __all__ = [
     "compare_kernels",
     "write_report",
     "load_report",
+    "git_sha",
 ]

@@ -14,11 +14,33 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import subprocess
 import tempfile
 
-__all__ = ["write_report", "load_report", "atomic_write_json"]
+__all__ = ["write_report", "load_report", "atomic_write_json", "git_sha"]
 
 SCHEMA_VERSION = 1
+
+
+def git_sha(short: bool = True) -> str | None:
+    """The repository HEAD commit of the code being benched, so every
+    BENCH_*.json row is attributable to a commit.  Returns ``None``
+    when the tree is not a git checkout (an installed package, a
+    tarball CI job); report writers record the ``None`` rather than
+    omitting the key, so "unattributable" is visible in the report.
+    """
+    cmd = ["git", "rev-parse", "--short", "HEAD"] if short \
+        else ["git", "rev-parse", "HEAD"]
+    try:
+        out = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.strip()
+    return sha or None
 
 
 def atomic_write_json(path, doc: dict) -> pathlib.Path:

@@ -43,6 +43,10 @@ KNOWN_PHASES = frozenset({
     "allreduce",         # global reductions (dots / norms)
     "matvec",            # distributed or operator matrix-vector product
     "krylov",            # the whole linear solve (envelope span)
+    "service_queue",     # admission-to-dispatch wait of a service request
+    "service_seed",      # warm-structure seeding (cache probes + build)
+    "service_solve",     # the whole solve (envelope span, service side)
+    "service_harvest",   # post-solve structure harvest into the cache
 })
 
 

@@ -1,0 +1,26 @@
+"""R008 fixture: a pure thread-worker path.
+
+The dispatch loop only transforms its arguments; the mutable service
+bookkeeping stays on the coordinator-only ``start_service`` path,
+which reachability keeps out of the worker partition.
+"""
+
+import threading
+
+_THREADS = []
+
+
+def handle(payload):
+    return sum(payload) + 1
+
+
+def dispatch_loop(payload):
+    return handle(payload)
+
+
+def start_service(payload):
+    t = threading.Thread(target=dispatch_loop, args=(payload,),
+                         daemon=True)
+    _THREADS.append(t)
+    t.start()
+    return t

@@ -1,0 +1,24 @@
+"""R008 fixture: impurity on a *thread* worker path.
+
+The solver service dispatches requests on ``threading.Thread`` workers
+— the same purity contract as forked ``Process`` workers applies, so
+``Thread(target=...)`` must mark its target as a worker entry.
+Expected findings: global rebind and clock read in the dispatch loop.
+"""
+
+import threading
+import time
+
+_SERVED = 0
+
+
+def dispatch_loop():
+    global _SERVED
+    _SERVED += 1
+    return time.perf_counter()
+
+
+def start_service():
+    t = threading.Thread(target=dispatch_loop, daemon=True)
+    t.start()
+    return t

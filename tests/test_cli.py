@@ -3,24 +3,25 @@
 import subprocess
 import sys
 
-import pytest
-
 from repro.experiments.__main__ import EXPERIMENTS, main
 
 
 class TestCLI:
-    def test_listing(self, capsys):
-        assert main([]) == 0
-        out = capsys.readouterr().out
+    def test_no_subcommand_is_usage_error(self, capsys):
+        """Omitting the subcommand exits 2 and lists the valid names
+        on stderr (scripts that forget the argument must fail)."""
+        assert main([]) == 2
+        err = capsys.readouterr().err
         for name in EXPERIMENTS:
-            assert name in out
+            assert name in err
+        assert "all" in err
 
     def test_registry_complete(self):
         """Every paper table/figure has a CLI entry."""
         expected = {"table1", "table2", "table2-dedup", "table3",
                     "table3-measured", "table4", "table5",
                     "table5-measured", "fig1", "fig2", "fig3", "fig4",
-                    "fig5", "eqbounds", "scaling"}
+                    "fig5", "eqbounds", "scaling", "service"}
         assert expected == set(EXPERIMENTS)
 
     def test_run_one(self, capsys):
@@ -29,13 +30,15 @@ class TestCLI:
         assert "Eq. 1/2" in out
         assert "[eqbounds:" in out
 
-    def test_bad_name_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["tableX"])
+    def test_bad_name_rejected(self, capsys):
+        assert main(["tableX"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "table3" in err       # the listing accompanies the error
 
     def test_module_invocation(self):
         proc = subprocess.run(
             [sys.executable, "-m", "repro.experiments"],
             capture_output=True, text=True, timeout=120)
-        assert proc.returncode == 0
-        assert "table3" in proc.stdout
+        assert proc.returncode == 2
+        assert "table3" in proc.stderr

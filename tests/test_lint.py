@@ -108,6 +108,22 @@ class TestRuleFixtures:
         assert "open(" in msgs
         assert all("worker entry" in f.message for f in findings)
 
+    def test_r008_thread_target_is_a_worker_entry(self):
+        """``Thread(target=...)`` marks its target exactly like
+        ``Process(target=...)`` — the service dispatch loop runs under
+        the same purity contract as forked workers."""
+        findings = lint_fixture("r008_thread_violating.py")
+        assert len(findings) == 2
+        assert {f.rule for f in findings} == {"R008"}
+        msgs = " | ".join(f.message for f in findings)
+        assert "rebinds module-level '_SERVED'" in msgs
+        assert "clock" in msgs
+
+    def test_r008_thread_compliant_is_clean(self):
+        """Coordinator-side bookkeeping around ``Thread(...)`` stays
+        out of the worker partition; the pure loop raises nothing."""
+        assert lint_fixture("r008_thread_compliant.py") == []
+
     def test_r009_flags_only_underived_indices(self):
         """Chunk-derived slice write passes; constant-index and
         captured-name writes are each flagged."""

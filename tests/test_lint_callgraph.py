@@ -147,6 +147,21 @@ class TestWorkerEntries:
         assert ("m", "worker_main") in g.worker_entries
         assert ("m", "start") not in g.worker_entries
 
+    def test_thread_target_is_worker_entry(self):
+        g = graph_of(m="""
+            import threading
+
+            def dispatch_loop():
+                return 0
+
+            def start():
+                t = threading.Thread(target=dispatch_loop, daemon=True)
+                t.start()
+                return t
+        """)
+        assert ("m", "dispatch_loop") in g.worker_entries
+        assert ("m", "start") not in g.worker_entries
+
     def test_register_at_fork_child_hook_is_worker_entry(self):
         g = graph_of(m="""
             import os

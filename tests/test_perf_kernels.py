@@ -227,3 +227,31 @@ def test_load_report_rejects_unknown_schema(tmp_path):
     p.write_text('{"schema_version": 99, "kernels": {}}')
     with pytest.raises(ValueError):
         load_report(p)
+
+
+def test_git_sha_attributes_this_checkout():
+    """In this repo the helper must resolve HEAD; the short form is a
+    prefix of the full one (the attribution key reports carry)."""
+    from repro.perf import git_sha
+
+    short, full = git_sha(), git_sha(short=False)
+    assert short and full
+    assert full.startswith(short)
+    assert all(c in "0123456789abcdef" for c in full)
+
+
+def test_git_sha_none_outside_a_checkout(monkeypatch):
+    """Outside a git checkout the key is None, not an exception."""
+    import subprocess as sp
+
+    from repro.perf import regress
+
+    def no_git(*a, **k):
+        raise OSError("git not found")
+
+    monkeypatch.setattr(regress.subprocess, "run", no_git)
+    assert regress.git_sha() is None
+    monkeypatch.setattr(
+        regress.subprocess, "run",
+        lambda *a, **k: sp.CompletedProcess(a, 128, stdout="", stderr=""))
+    assert regress.git_sha() is None
